@@ -1,0 +1,269 @@
+(* The `scs` command-line interface.
+
+   scs list                          enumerate experiments
+   scs experiment T1 [T2 ...]        run experiments by id
+   scs simulate --algo=... -n 4 ...  one simulated TAS run with a trace dump
+   scs consensus --algo=... -n 4     one simulated consensus run
+   scs check --algo=... --seeds 500  randomized safety checking *)
+
+open Cmdliner
+open Scs_spec
+open Scs_history
+open Scs_sim
+open Scs_workload
+
+(* ---- shared args ------------------------------------------------------ *)
+
+let n_arg =
+  Arg.(value & opt int 4 & info [ "n"; "processes" ] ~docv:"N" ~doc:"Number of processes.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let tas_algo_arg =
+  let algos =
+    [
+      ("speculative", Tas_run.Composed);
+      ("strict", Tas_run.Strict);
+      ("solo-fast", Tas_run.Solo_fast);
+      ("hardware", Tas_run.Hardware);
+      ("tournament", Tas_run.Tournament);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum algos) Tas_run.Composed
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"TAS implementation: $(b,speculative) (paper A1∘A2), $(b,strict), \
+              $(b,solo-fast), $(b,hardware) or $(b,tournament).")
+
+let policy_arg =
+  let policies = [ ("random", `Random); ("sequential", `Sequential); ("solo", `Solo) ] in
+  Arg.(
+    value
+    & opt (enum policies) `Random
+    & info [ "policy" ] ~docv:"POLICY" ~doc:"Schedule: $(b,random), $(b,sequential) or $(b,solo).")
+
+let make_policy = function
+  | `Random -> Policy.random
+  | `Sequential -> fun _ -> Policy.sequential ()
+  | `Solo -> fun _ -> Policy.solo 0
+
+(* ---- list -------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Scs_experiments.Registry.t) ->
+        Printf.printf "%-4s %s\n" e.Scs_experiments.Registry.id e.Scs_experiments.Registry.title)
+      Scs_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the reproduction experiments.")
+    Term.(const run $ const ())
+
+(* ---- experiment -------------------------------------------------------- *)
+
+let experiment_cmd =
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  let run ids =
+    match ids with
+    | [] -> Scs_experiments.Registry.run_all ()
+    | ids ->
+        List.iter
+          (fun id ->
+            match Scs_experiments.Registry.find id with
+            | Some e -> e.Scs_experiments.Registry.run ()
+            | None -> Printf.eprintf "unknown experiment id %s (try `scs list')\n" id)
+          ids
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Run reproduction experiments by id.")
+    Term.(const run $ ids_arg)
+
+(* ---- simulate ----------------------------------------------------------- *)
+
+let show_resp = function Objects.Winner -> "winner" | Objects.Loser -> "loser"
+
+let show_stage = function
+  | Some Scs_tas.One_shot.Fast -> "registers"
+  | Some Scs_tas.One_shot.Fallback -> "hardware"
+  | None -> "-"
+
+let simulate_cmd =
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Dump the shared-memory step trace.")
+  in
+  let run n seed algo policy trace =
+    let r = Tas_run.one_shot ~seed ~n ~algo ~policy:(make_policy policy) () in
+    Printf.printf "algorithm: %s, n=%d, seed=%d\n\n" (Tas_run.algo_name algo) n seed;
+    List.iter
+      (fun (o : Tas_run.op_record) ->
+        Printf.printf "p%-2d -> %-6s via %-9s steps=%-3d rmws=%d raws=%d [%d,%d]\n"
+          o.Tas_run.pid (show_resp o.Tas_run.resp) (show_stage o.Tas_run.stage) o.Tas_run.steps
+          o.Tas_run.rmws o.Tas_run.raws o.Tas_run.invoke_ts o.Tas_run.resp_ts)
+      r.Tas_run.ops;
+    let ops = Trace.operations r.Tas_run.outer in
+    Printf.printf "\nlinearizable (strict): %b\n" (Tas_lin.check_one_shot ops);
+    Printf.printf "safely composable (Definition 2): %b\n"
+      (Scs_composable.Tas_interp.is_safely_composable r.Tas_run.outer);
+    Printf.printf "total steps: %d, registers: %d, rmw objects: %d\n"
+      (Sim.total_steps r.Tas_run.sim) r.Tas_run.registers r.Tas_run.rmw_objects;
+    if trace then begin
+      print_newline ();
+      Array.iter (fun e -> print_endline (Mem_event.to_string e)) r.Tas_run.mem
+    end
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one simulated one-shot TAS execution and check it.")
+    Term.(const run $ n_arg $ seed_arg $ tas_algo_arg $ policy_arg $ trace_arg)
+
+(* ---- consensus ---------------------------------------------------------- *)
+
+let consensus_cmd =
+  let algo_arg =
+    let algos =
+      [
+        ("split", Cons_run.Split);
+        ("bakery", Cons_run.Bakery);
+        ("cas", Cons_run.Cas);
+        ("chain", Cons_run.Chain3);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum algos) Cons_run.Split
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:"Consensus: $(b,split), $(b,bakery), $(b,cas) or $(b,chain).")
+  in
+  let run n seed algo policy =
+    let r = Cons_run.run ~seed ~n ~algo ~policy:(make_policy policy) () in
+    Printf.printf "algorithm: %s, n=%d, seed=%d\n\n" (Cons_run.algo_name algo) n seed;
+    List.iter
+      (fun (o : Cons_run.op) ->
+        let outcome =
+          match o.Cons_run.outcome with
+          | Scs_composable.Outcome.Commit (Some d) -> Printf.sprintf "commit %d" d
+          | Scs_composable.Outcome.Commit None -> "commit ⊥"
+          | Scs_composable.Outcome.Abort (Some w) -> Printf.sprintf "abort (saw %d)" w
+          | Scs_composable.Outcome.Abort None -> "abort ⊥"
+        in
+        Printf.printf "p%-2d proposes %d -> %-16s steps=%d\n" o.Cons_run.pid o.Cons_run.proposal
+          outcome o.Cons_run.steps)
+      r.Cons_run.ops;
+    Printf.printf "\nagreement: %b, validity: %b\n" r.Cons_run.agreement r.Cons_run.validity
+  in
+  Cmd.v
+    (Cmd.info "consensus" ~doc:"Run one simulated abortable-consensus execution.")
+    Term.(const run $ n_arg $ seed_arg $ algo_arg $ policy_arg)
+
+(* ---- check --------------------------------------------------------------- *)
+
+let check_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 500 & info [ "seeds" ] ~docv:"K" ~doc:"Number of random schedules.")
+  in
+  let run n algo seeds =
+    let failures = ref 0 in
+    for seed = 1 to seeds do
+      let r = Tas_run.one_shot ~seed ~n ~algo ~policy:Policy.random () in
+      let ops = Trace.operations r.Tas_run.outer in
+      let strict_ok = Tas_lin.check_one_shot ops in
+      let paper_ok = Scs_composable.Tas_interp.is_safely_composable r.Tas_run.outer in
+      let winners = List.length (Tas_run.winners r) in
+      let ok =
+        winners = 1
+        && paper_ok
+        && (strict_ok || algo = Tas_run.Composed)
+        (* the paper variant is only speculatively linearizable: F-1 *)
+      in
+      if not ok then begin
+        incr failures;
+        Printf.printf "seed %d: winners=%d strict=%b paper=%b\n" seed winners strict_ok paper_ok
+      end
+    done;
+    Printf.printf "%s: %d/%d schedules failed\n" (Tas_run.algo_name algo) !failures seeds;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Randomized safety checking of a TAS implementation.")
+    Term.(const run $ n_arg $ tas_algo_arg $ seeds_arg)
+
+(* ---- explore -------------------------------------------------------------- *)
+
+let explore_cmd =
+  let budget_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "budget" ] ~docv:"K" ~doc:"Maximum number of schedules to enumerate.")
+  in
+  let run n algo budget =
+    let strict = algo = Tas_run.Strict in
+    let current = ref None in
+    let setup sim =
+      let module P = (val Scs_prims.Sim_prims.make sim) in
+      let tr = Trace.create ~clock:(fun () -> Sim.clock sim) () in
+      current := Some tr;
+      let op =
+        match algo with
+        | Tas_run.Composed | Tas_run.Strict ->
+            let module OS = Scs_tas.One_shot.Make (P) in
+            let os = OS.create ~strict ~name:"tas" () in
+            fun ~pid -> OS.test_and_set os ~pid
+        | Tas_run.Solo_fast ->
+            let module SF = Scs_tas.Solo_fast.Make (P) in
+            let sf = SF.create ~name:"sf" () in
+            fun ~pid -> SF.test_and_set sf ~pid
+        | Tas_run.Hardware ->
+            let module B = Scs_tas.Baselines.Make (P) in
+            let hw = B.Hardware.create ~name:"hw" () in
+            fun ~pid -> B.Hardware.test_and_set hw ~pid
+        | Tas_run.Tournament ->
+            let module B = Scs_tas.Baselines.Make (P) in
+            let t = B.Tournament.create ~name:"agtv" ~n () in
+            let rngs = Array.init n (fun i -> Scs_util.Rng.create (i + 1)) in
+            fun ~pid -> B.Tournament.test_and_set t ~pid ~rng:rngs.(pid)
+      in
+      for pid = 0 to n - 1 do
+        Sim.spawn sim pid (fun () ->
+            let req = Request.make pid Objects.Test_and_set in
+            Trace.invoke tr ~pid req;
+            let r = op ~pid in
+            Trace.commit tr ~pid req r)
+      done
+    in
+    let bad = ref 0 and first = ref None in
+    let check _ sched =
+      let tr = Option.get !current in
+      if not (Tas_lin.check_one_shot (Trace.operations (Trace.events tr))) then begin
+        incr bad;
+        if !first = None then first := Some sched
+      end
+    in
+    let outcome = Explore.exhaustive ~max_schedules:budget ~n ~setup ~check () in
+    Printf.printf "%s, n=%d: explored %d schedules%s; non-linearizable: %d
+"
+      (Tas_run.algo_name algo) n outcome.Explore.schedules
+      (if outcome.Explore.truncated then " (budget-truncated)" else " (complete)")
+      !bad;
+    (match !first with
+    | Some sched ->
+        Printf.printf "first violating schedule: %s
+"
+          (String.concat "," (List.map string_of_int sched))
+    | None -> ());
+    if !bad > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively enumerate interleavings of a one-shot TAS run and check strict           linearizability on each (bounded model checking).")
+    Term.(const run $ n_arg $ tas_algo_arg $ budget_arg)
+
+(* ---- main ---------------------------------------------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "scs" ~version:"1.0.0"
+      ~doc:"Safely composable shared-memory algorithms (SPAA 2012 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; simulate_cmd; consensus_cmd; check_cmd; explore_cmd ]))

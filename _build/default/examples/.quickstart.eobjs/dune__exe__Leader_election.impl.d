@@ -1,0 +1,1 @@
+examples/leader_election.ml: Array List Policy Printf Scs_composable Scs_history Scs_sim Scs_tas Scs_workload Sim Sys Tas_lin Tas_run Trace

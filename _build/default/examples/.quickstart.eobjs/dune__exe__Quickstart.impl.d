@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Domain List Objects Printf Scs_prims Scs_spec Scs_tas

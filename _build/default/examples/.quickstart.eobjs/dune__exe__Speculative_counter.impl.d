@@ -1,0 +1,1 @@
+examples/speculative_counter.ml: Array List Objects Policy Printf Request Scs_futures Scs_prims Scs_sim Scs_spec Scs_util Sim Spec_object String Sys

@@ -1,0 +1,1 @@
+examples/speculative_counter.mli:

@@ -1,0 +1,1 @@
+examples/spinlock.ml: Array Domain List Printf Scs_prims Scs_tas Unix

@@ -1,0 +1,1 @@
+examples/spinlock.mli:

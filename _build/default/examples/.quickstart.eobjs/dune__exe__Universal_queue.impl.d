@@ -1,0 +1,1 @@
+examples/universal_queue.ml: Array List Objects Policy Printf Request Scs_sim Scs_spec Scs_workload Spec String Sys

@@ -1,0 +1,1 @@
+lib/composable/outcome.ml: List

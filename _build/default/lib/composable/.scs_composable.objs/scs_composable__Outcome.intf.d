@@ -1,0 +1,1 @@
+lib/composable/outcome.mli:

@@ -1,0 +1,1 @@
+lib/composable/tas_constraint.ml: History List Request Scs_history Scs_spec Tas_switch Trace

@@ -1,0 +1,1 @@
+lib/composable/tas_interp.ml: Abstract_check Array History List Objects Printf Request Scs_history Scs_spec Tas_constraint Tas_switch Trace

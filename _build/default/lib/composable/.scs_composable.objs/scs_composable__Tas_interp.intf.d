@@ -1,0 +1,1 @@
+lib/composable/tas_interp.mli: History Objects Scs_history Scs_spec Tas_constraint Tas_switch Trace

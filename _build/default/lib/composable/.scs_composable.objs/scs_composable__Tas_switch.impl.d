@@ -1,0 +1,1 @@
+lib/composable/tas_switch.ml:

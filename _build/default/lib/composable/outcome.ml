@@ -1,0 +1,29 @@
+type ('r, 'v) t = Commit of 'r | Abort of 'v
+
+let is_commit = function Commit _ -> true | Abort _ -> false
+let is_abort = function Abort _ -> true | Commit _ -> false
+
+let commit_exn = function
+  | Commit r -> r
+  | Abort _ -> invalid_arg "Outcome.commit_exn: outcome is an abort"
+
+let map_commit f = function Commit r -> Commit (f r) | Abort v -> Abort v
+
+type ('i, 'r, 'v) m = {
+  m_name : string;
+  m_apply : pid:int -> ?init:'v -> 'i -> ('r, 'v) t;
+}
+
+let compose a b =
+  {
+    m_name = a.m_name ^ ">" ^ b.m_name;
+    m_apply =
+      (fun ~pid ?init req ->
+        match a.m_apply ~pid ?init req with
+        | Commit r -> Commit r
+        | Abort v -> b.m_apply ~pid ~init:v req);
+  }
+
+let chain = function
+  | [] -> invalid_arg "Outcome.chain: empty module list"
+  | m :: rest -> List.fold_left compose m rest

@@ -1,0 +1,28 @@
+(** Module outcomes and the composition combinator.
+
+    A safely composable module (Section 3) either commits a response or
+    aborts with a switch value that initialises the next module. Composing
+    [a] and [b] runs [a] and, on abort, hands the switch value to [b]
+    (Theorem 2 guarantees the composition is again safely composable). *)
+
+type ('r, 'v) t = Commit of 'r | Abort of 'v
+
+val is_commit : ('r, 'v) t -> bool
+val is_abort : ('r, 'v) t -> bool
+val commit_exn : ('r, 'v) t -> 'r
+val map_commit : ('r -> 's) -> ('r, 'v) t -> ('s, 'v) t
+
+(** A module instance, reified at the value level so instances over
+    different primitive backends compose uniformly. [apply] runs one
+    request; [init] is the switch value inherited from the previous module
+    ([None] on the first module of a composition). *)
+type ('i, 'r, 'v) m = {
+  m_name : string;
+  m_apply : pid:int -> ?init:'v -> 'i -> ('r, 'v) t;
+}
+
+val compose : ('i, 'r, 'v) m -> ('i, 'r, 'v) m -> ('i, 'r, 'v) m
+(** [compose a b]: run [a]; on [Abort v], run [b] with [~init:v]. *)
+
+val chain : ('i, 'r, 'v) m list -> ('i, 'r, 'v) m
+(** Left-to-right composition of a non-empty list. *)

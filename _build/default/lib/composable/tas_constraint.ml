@@ -1,0 +1,58 @@
+open Scs_spec
+open Scs_history
+
+type 'i token = { t_req : 'i Request.t; t_val : Tas_switch.t }
+
+let tokens_of_operations ops =
+  List.filter_map
+    (fun (o : _ Trace.operation) ->
+      match o.Trace.outcome with
+      | Trace.Aborted { switch; _ } -> Some { t_req = o.Trace.op_req; t_val = switch }
+      | _ -> None)
+    ops
+
+let init_tokens_of_operations ops =
+  List.filter_map
+    (fun (o : _ Trace.operation) ->
+      match o.Trace.op_init with
+      | Some v -> Some { t_req = o.Trace.op_req; t_val = v }
+      | None -> None)
+    ops
+
+let token_ids tokens = List.map (fun t -> Request.id t.t_req) tokens
+
+let contains_all tokens h = List.for_all (fun id -> History.mem id h) (token_ids tokens)
+
+let w_tokens tokens = List.filter (fun t -> t.t_val = Tas_switch.W) tokens
+
+let allows ~tokens h =
+  match w_tokens tokens with
+  | _ :: _ as ws -> (
+      match h with
+      | [] -> false
+      | head :: _ ->
+          List.exists (fun t -> Request.id t.t_req = Request.id head) ws && contains_all tokens h)
+  | [] -> (
+      match h with
+      | [] -> false
+      | head :: _ ->
+          (not (List.mem (Request.id head) (token_ids tokens))) && contains_all tokens h)
+
+type 'i eq_class = Headed_by of 'i Request.t | Free_head | No_aborts
+
+let classes ~tokens =
+  match tokens with
+  | [] -> [ No_aborts ]
+  | _ -> (
+      match w_tokens tokens with
+      | [] -> [ Free_head ]
+      | ws -> List.map (fun t -> Headed_by t.t_req) ws)
+
+let in_class ~tokens cls h =
+  match cls with
+  | No_aborts -> h = []
+  | Free_head -> allows ~tokens h
+  | Headed_by r -> (
+      match h with
+      | head :: _ -> Request.id head = Request.id r && allows ~tokens h
+      | [] -> false)

@@ -1,0 +1,46 @@
+(** The constraint function [M] of Definition 3, for test-and-set.
+
+    A switch token is a pair (request, switch value). Given a token set
+    [S = {(r1,v1), …, (rk,vk)}]:
+    - if some token carries [W], then [M(S)] is the set of histories whose
+      head is one of the [W]-requests and which contain every [rj];
+    - otherwise [M(S)] is the set of non-empty histories whose head is a
+      request {e not} in [S] and which contain every [rj].
+
+    [M] is represented as a membership predicate, since the history sets
+    are infinite. Equivalence classes of [≡requests(S)] over [M(S)] are
+    finitely many for TAS (a history's class is determined by its head when
+    [W]-tokens exist, and unique otherwise) and are enumerated
+    explicitly. *)
+
+open Scs_spec
+open Scs_history
+
+type 'i token = { t_req : 'i Request.t; t_val : Tas_switch.t }
+
+val tokens_of_operations :
+  (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.operation list -> Objects.tas_req token list
+(** The abort tokens [aborts(τ)] of a trace's operations. *)
+
+val init_tokens_of_operations :
+  (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.operation list -> Objects.tas_req token list
+(** The init tokens [inits(τ)]. *)
+
+val allows : tokens:'i token list -> 'i History.t -> bool
+(** History membership in [M(tokens)]. *)
+
+type 'i eq_class =
+  | Headed_by of 'i Request.t
+      (** histories headed by this specific [W]-request *)
+  | Free_head
+      (** the single class when no token carries [W]: head is any request
+          outside the token set *)
+  | No_aborts  (** [aborts(τ)] empty: the abort history is ⊥ *)
+
+val classes : tokens:'i token list -> 'i eq_class list
+(** The equivalence classes [eq(tokens, M)]; [[No_aborts]] when the token
+    set is empty. *)
+
+val in_class : tokens:'i token list -> 'i eq_class -> 'i History.t -> bool
+(** Class membership (implies [allows] except for [No_aborts], which only
+    the empty history inhabits). *)

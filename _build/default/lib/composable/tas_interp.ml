@@ -1,0 +1,197 @@
+open Scs_spec
+open Scs_history
+
+type tas_op = (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.operation
+type tas_event = (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.event
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let resp_seq (o : tas_op) =
+  match o.Trace.outcome with
+  | Trace.Committed { resp_seq; _ } | Trace.Aborted { resp_seq; _ } -> resp_seq
+  | Trace.Pending -> max_int
+
+let by_resp_seq ops = List.sort (fun a b -> compare (resp_seq a) (resp_seq b)) ops
+
+let committed_winners ops =
+  List.filter
+    (fun (o : tas_op) ->
+      match o.Trace.outcome with
+      | Trace.Committed { resp = Objects.Winner; _ } -> true
+      | _ -> false)
+    ops
+
+let committed_losers ops =
+  List.filter
+    (fun (o : tas_op) ->
+      match o.Trace.outcome with
+      | Trace.Committed { resp = Objects.Loser; _ } -> true
+      | _ -> false)
+    ops
+
+let aborted_with v ops =
+  List.filter
+    (fun (o : tas_op) ->
+      match o.Trace.outcome with
+      | Trace.Aborted { switch; _ } -> Tas_switch.equal switch v
+      | _ -> false)
+    ops
+
+let pending_ops ops = List.filter (fun (o : tas_op) -> o.Trace.outcome = Trace.Pending) ops
+let reqs ops = List.map (fun (o : tas_op) -> o.Trace.op_req) ops
+
+(* A request id guaranteed fresh for this trace: stands in for a winner
+   that lives in another module's trace (e.g. everyone entered this module
+   with switch value L because the object was won elsewhere). *)
+let external_winner ops tokens =
+  let max_id =
+    List.fold_left
+      (fun m (o : tas_op) -> max m (Request.id o.Trace.op_req))
+      (List.fold_left
+         (fun m (t : _ Tas_constraint.token) -> max m (Request.id t.Tas_constraint.t_req))
+         0 tokens)
+      ops
+  in
+  Request.make (max_id + 1) Objects.Test_and_set
+
+(* The candidate-winner set A of the Lemma 4 proof, as requests: the
+   committed winner and the W-aborts; when both are absent but losers
+   committed, a pending request invoked before the first loser's response
+   stands in (Invariant 3), and failing that — only possible when the
+   object was won in a previous module — a fresh external request does. *)
+let candidate_set ~init_tokens ops =
+  let winners = committed_winners ops in
+  let w_aborts = by_resp_seq (aborted_with Tas_switch.W ops) in
+  match winners @ w_aborts with
+  | _ :: _ as a -> Ok (reqs a)
+  | [] -> (
+      match by_resp_seq (committed_losers ops) with
+      | [] -> Ok []
+      | first :: _ -> (
+          let cutoff = resp_seq first in
+          match
+            List.find_opt (fun (p : tas_op) -> p.Trace.invoke_seq < cutoff) (pending_ops ops)
+          with
+          | Some p -> Ok [ p.Trace.op_req ]
+          | None ->
+              if init_tokens <> [] then Ok [ external_winner ops init_tokens ]
+              else
+                fail
+                  "no candidate winner: losers committed but no winner, W-abort or pending \
+                   operation precedes the first loser (Invariant 3 violated)"))
+
+(* The Lemma 4 history A ++ B ++ C for a class; with non-empty
+   [init_tokens] it may fabricate an external head. *)
+let build_full_history ~cls ~init_tokens ops =
+  let* a = candidate_set ~init_tokens ops in
+  let b = reqs (by_resp_seq (committed_losers ops)) in
+  let c = reqs (by_resp_seq (aborted_with Tas_switch.L ops)) in
+  match cls with
+  | Tas_constraint.No_aborts -> Ok (a @ b)
+  | Tas_constraint.Free_head -> (
+      match a with
+      | [] -> fail "Free_head class but no candidate winner to head the history"
+      | _ -> Ok (a @ b @ c))
+  | Tas_constraint.Headed_by r -> (
+      let rid = Request.id r in
+      let heads, rest = List.partition (fun q -> Request.id q = rid) a in
+      match heads with
+      | [ _ ] -> Ok ((r :: rest) @ b @ c)
+      | [] -> fail "class head request %d is not in the candidate set" rid
+      | _ -> fail "class head request %d appears twice" rid)
+
+(* The shortest prefix of [h] containing the request [rid]. *)
+let prefix_up_to h rid =
+  let rec go acc = function
+    | [] -> None
+    | r :: rest ->
+        let acc = r :: acc in
+        if Request.id r = rid then Some (List.rev acc) else go acc rest
+  in
+  go [] h
+
+(* φ(commit of m): the shortest prefix of [hfull] that both contains [m]
+   and extends [hinit] (Init Ordering forces commit histories to extend
+   the init history). The committed response must equal β(φ(i), m) — the
+   reply an Abstract client computes for its own request from the returned
+   history; this is how the Lemma 5 interpretation explains a loser's
+   commit by the winner's presence in the history. *)
+let interpret_events evs ~hinit ~habort ~hfull =
+  let module A = Abstract_check in
+  let hinit_len = List.length hinit in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | ev :: rest -> (
+        match (ev : tas_event) with
+        | Trace.Invoke { seq; pid; req; _ } -> go (A.Invoke { seq; pid; req } :: acc) rest
+        | Trace.Init { seq; pid; req; _ } ->
+            go (A.Init { seq; pid; req; hist = hinit } :: acc) rest
+        | Trace.Abort { seq; pid; req; _ } ->
+            go (A.Abort { seq; pid; req; hist = habort } :: acc) rest
+        | Trace.Commit { seq; pid; req; resp; _ } -> (
+            match prefix_up_to hfull (Request.id req) with
+            | None ->
+                fail "committed request %d does not appear in the constructed history"
+                  (Request.id req)
+            | Some h_min -> (
+                let h = if List.length h_min >= hinit_len then h_min else hinit in
+                (* Definition 2, condition 3 (Abstract reading):
+                   β(φ(i), m) = response(i). *)
+                match History.beta_at Objects.tas h (Request.id req) with
+                | Some r when r = resp -> go (A.Commit { seq; pid; req; hist = h } :: acc) rest
+                | _ ->
+                    fail "β(φ(commit of %d), m) does not match the committed response"
+                      (Request.id req))))
+  in
+  go [] (Array.to_list evs)
+
+let check_class evs ops ~init_tokens ~abort_tokens cls =
+  let* hfull0 = build_full_history ~cls ~init_tokens ops in
+  (* Requests that entered with an init token but never responded must
+     still appear in the init history for it to lie in M(inits(τ)); they
+     are appended at the tail, where they affect no response. *)
+  let extras =
+    List.filter_map
+      (fun (t : _ Tas_constraint.token) ->
+        let r = t.Tas_constraint.t_req in
+        if History.mem (Request.id r) hfull0 then None else Some r)
+      init_tokens
+  in
+  let hfull = hfull0 @ extras in
+  let habort = match cls with Tas_constraint.No_aborts -> [] | _ -> hfull in
+  (* Condition 2 + class membership: habort ∈ e. *)
+  let* () =
+    match cls with
+    | Tas_constraint.No_aborts -> Ok ()
+    | _ ->
+        if Tas_constraint.in_class ~tokens:abort_tokens cls habort then Ok ()
+        else fail "constructed abort history is outside its equivalence class"
+  in
+  (* As in the proofs of Lemmas 4 and 5, init indices are interpreted by
+     the full constructed history. *)
+  let hinit = match init_tokens with [] -> [] | _ -> hfull in
+  (* Condition 1: φ constant on inits, with value in M(inits(τ)). *)
+  let* () =
+    match init_tokens with
+    | [] -> Ok ()
+    | _ ->
+        if Tas_constraint.allows ~tokens:init_tokens hinit then Ok ()
+        else fail "interpretation of init events is outside M(inits(τ))"
+  in
+  let* interpreted = interpret_events evs ~hinit ~habort ~hfull in
+  (* Condition 4: φτ is an Abstract trace. *)
+  Abstract_check.check ~validity:Abstract_check.Global interpreted
+
+let check_events evs =
+  let ops = Trace.operations evs in
+  let abort_tokens = Tas_constraint.tokens_of_operations ops in
+  let init_tokens = Tas_constraint.init_tokens_of_operations ops in
+  let classes = Tas_constraint.classes ~tokens:abort_tokens in
+  List.fold_left
+    (fun acc cls ->
+      let* () = acc in
+      check_class evs ops ~init_tokens ~abort_tokens cls)
+    (Ok ()) classes
+
+let is_safely_composable evs = match check_events evs with Ok () -> true | Error _ -> false

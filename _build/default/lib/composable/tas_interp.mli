@@ -1,0 +1,42 @@
+(** Safe-composability checking for test-and-set traces (Definition 2,
+    instantiated with the TAS constraint function of Definition 3).
+
+    The checker follows the constructive proof of Lemma 4. Given a trace
+    [τ] of module operations it enumerates the equivalence classes
+    [eq(aborts(τ), M)] and, for each class:
+    + builds the abort history [habort]: the candidate-winner set [A]
+      (committed winner, W-aborts, or a pending operation invoked before
+      the first loser committed — Invariant 3), headed by the class's
+      request, followed by the committed losers [B] and L-aborts [C] in
+      response order;
+    + builds the interpretation [φ]: committed requests map to prefixes of
+      [habort] (or of the winner+losers history when nothing aborted),
+      aborts and inits map to [habort];
+    + verifies the interpretation: [φ] constant on inits with value in
+      [M(inits(τ))], constant on aborts with value [habort ∈ e],
+      [β(φ(i)) = response(i)] on commits, and [φτ] satisfies the Abstract
+      properties (with the [Global] abort-validity reading — an abort
+      history legitimately names L-aborted requests that start later).
+
+    If the module under test is buggy — two winners, a loser without a
+    preceding candidate winner, a W-abort after a loser — no interpretation
+    exists and the checker reports which construction step failed. *)
+
+open Scs_spec
+open Scs_history
+
+type tas_op = (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.operation
+type tas_event = (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.event
+
+val check_events : tas_event array -> (unit, string) result
+(** Check every equivalence class of the trace. *)
+
+val is_safely_composable : tas_event array -> bool
+
+val build_full_history :
+  cls:Objects.tas_req Tas_constraint.eq_class ->
+  init_tokens:Objects.tas_req Tas_constraint.token list ->
+  tas_op list ->
+  (Objects.tas_req History.t, string) result
+(** Exposed for tests: the [A ++ B ++ C] history of the Lemma 4
+    construction for one equivalence class. *)

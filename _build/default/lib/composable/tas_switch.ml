@@ -1,0 +1,4 @@
+type t = W | L
+
+let to_string = function W -> "W" | L -> "L"
+let equal (a : t) b = a = b

@@ -1,0 +1,8 @@
+(** Switch values of the speculative test-and-set (Definition 3):
+    [W] — "the object has not been won yet" (the aborting request is a
+    candidate winner); [L] — "the aborting request has lost". *)
+
+type t = W | L
+
+val to_string : t -> string
+val equal : t -> t -> bool

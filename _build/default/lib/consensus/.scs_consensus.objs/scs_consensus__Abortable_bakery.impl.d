@@ -1,0 +1,1 @@
+lib/consensus/abortable_bakery.ml: Array Consensus_intf List Outcome Printf Scs_composable Scs_prims

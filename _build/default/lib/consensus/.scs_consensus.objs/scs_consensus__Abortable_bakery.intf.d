@@ -1,0 +1,1 @@
+lib/consensus/abortable_bakery.mli: Consensus_intf Scs_prims

@@ -1,0 +1,1 @@
+lib/consensus/cas_consensus.ml: Consensus_intf Outcome Scs_composable Scs_prims

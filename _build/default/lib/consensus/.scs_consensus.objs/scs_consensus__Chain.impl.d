@@ -1,0 +1,1 @@
+lib/consensus/chain.ml: Array Consensus_intf Outcome Printf Scs_composable Scs_prims

@@ -1,0 +1,1 @@
+lib/consensus/chain.mli: Consensus_intf Scs_prims

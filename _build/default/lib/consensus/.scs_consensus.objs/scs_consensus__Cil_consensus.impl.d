@@ -1,0 +1,1 @@
+lib/consensus/cil_consensus.ml: Array Printf Rng Scs_prims Scs_util

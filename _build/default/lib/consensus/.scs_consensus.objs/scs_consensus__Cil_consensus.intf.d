@@ -1,0 +1,1 @@
+lib/consensus/cil_consensus.mli: Scs_prims Scs_util

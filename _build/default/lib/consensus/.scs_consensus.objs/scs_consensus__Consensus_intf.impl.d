@@ -1,0 +1,1 @@
+lib/consensus/consensus_intf.ml: Outcome Scs_composable

@@ -1,0 +1,1 @@
+lib/consensus/consensus_intf.mli: Outcome Scs_composable

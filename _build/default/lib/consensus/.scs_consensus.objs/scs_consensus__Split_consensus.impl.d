@@ -1,0 +1,1 @@
+lib/consensus/split_consensus.ml: Consensus_intf Outcome Scs_composable Scs_prims Splitter

@@ -1,0 +1,1 @@
+lib/consensus/split_consensus.mli: Consensus_intf Scs_prims

@@ -1,0 +1,1 @@
+lib/consensus/splitter.ml: Scs_prims

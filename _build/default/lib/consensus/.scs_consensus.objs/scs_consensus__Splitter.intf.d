@@ -1,0 +1,1 @@
+lib/consensus/splitter.mli: Scs_prims

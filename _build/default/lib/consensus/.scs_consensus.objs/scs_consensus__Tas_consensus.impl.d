@@ -1,0 +1,1 @@
+lib/consensus/tas_consensus.ml: Array Printf Scs_prims

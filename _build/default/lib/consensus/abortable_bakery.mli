@@ -1,0 +1,19 @@
+(** AbortableBakery (Appendix A, Algorithm 4): abortable consensus from
+    registers only — the abortable variant of the solo-fast consensus of
+    Attiya, Guerraoui, Hendler and Kuznetsov.
+
+    Each process tries to impose its value by associating it with the
+    highest timestamp in the arrays [(Ai)]/[(Bi)] and double-checking that
+    nothing moved; any failed check means step contention and the process
+    aborts after raising the [Quit] flag. Solo step complexity is O(n)
+    (three collects); the instance commits in the absence of {e step}
+    contention. *)
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  type 'v t
+
+  val create : name:string -> n:int -> unit -> 'v t
+  (** [n] is the number of processes (pids [0 .. n-1]). *)
+
+  val instance : 'v t -> 'v Consensus_intf.t
+end

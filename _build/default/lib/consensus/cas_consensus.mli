@@ -1,0 +1,10 @@
+(** Wait-free consensus from a single compare-and-swap object (consensus
+    number ∞). Never aborts; closes a composed consensus chain or a
+    composed universal construction (Section 4.2, wait-free variant). *)
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  type 'v t
+
+  val create : name:string -> unit -> 'v t
+  val instance : 'v t -> 'v Consensus_intf.t
+end

@@ -1,0 +1,36 @@
+open Scs_util
+
+exception Round_cap_exceeded
+
+module Make (P : Scs_prims.Prims_intf.S) = struct
+  type 'v t = { r : (int * 'v) option P.reg array }
+
+  let create ~name () =
+    { r = Array.init 2 (fun i -> P.reg ~name:(Printf.sprintf "%s.R[%d]" name i) None) }
+
+  (* Round-based conflict resolution: adopt the other's value when it is
+     ahead; flip a coin on a same-round conflict; decide once two rounds
+     ahead of the last observed state of the other process (it must adopt
+     our value before it can catch up). *)
+  let propose t ~pid ~rng ?(round_cap = 10_000) v =
+    if pid < 0 || pid > 1 then invalid_arg "Cil_consensus.propose: pid must be 0 or 1";
+    let other = 1 - pid in
+    let rec go round value fuel =
+      if fuel = 0 then raise Round_cap_exceeded;
+      P.write t.r.(pid) (Some (round, value));
+      match P.read t.r.(other) with
+      | None -> value  (* the other never started: decide *)
+      | Some (r_other, v_other) ->
+          if r_other > round then go r_other v_other (fuel - 1)
+          else if r_other = round then begin
+            if v_other = value then go (round + 1) value (fuel - 1)
+            else begin
+              let value = if Rng.bool rng then v_other else value in
+              go round value (fuel - 1)
+            end
+          end
+          else if round >= r_other + 2 then value
+          else go (round + 1) value (fuel - 1)
+    in
+    go 1 v round_cap
+end

@@ -1,0 +1,22 @@
+(** Randomized two-process consensus from single-writer registers, in the
+    style of Chor, Israeli and Li.
+
+    Against the repository's oblivious (seeded) schedulers this terminates
+    with probability 1; a round cap turns pathological schedules into an
+    exception rather than a livelock. Safety (agreement and validity) is
+    independent of the coin flips and is model-checked exhaustively by the
+    test suite over bounded interleavings.
+
+    This is the register-only building block of the Afek–Gafni–Tromp–
+    Vitányi-style randomized test-and-set baseline. *)
+
+exception Round_cap_exceeded
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  type 'v t
+
+  val create : name:string -> unit -> 'v t
+
+  val propose : 'v t -> pid:int -> rng:Scs_util.Rng.t -> ?round_cap:int -> 'v -> 'v
+  (** [pid] must be 0 or 1; [round_cap] defaults to 10_000. *)
+end

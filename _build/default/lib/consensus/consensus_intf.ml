@@ -1,0 +1,19 @@
+open Scs_composable
+
+type 'v t = {
+  name : string;
+  propose_raw : pid:int -> 'v option -> ('v option, 'v option) Outcome.t;
+  run : pid:int -> old:'v option -> 'v -> ('v option, 'v option) Outcome.t;
+}
+
+let wrap ~name propose_raw =
+  let run ~pid ~old v =
+    match propose_raw ~pid old with
+    | Outcome.Abort _ -> Outcome.Abort old
+    | Outcome.Commit None -> propose_raw ~pid (Some v)
+    | Outcome.Commit (Some _) as committed -> committed
+  in
+  { name; propose_raw; run }
+
+let probe t ~pid =
+  match t.propose_raw ~pid None with Outcome.Commit v -> v | Outcome.Abort v -> v

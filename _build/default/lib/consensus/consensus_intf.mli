@@ -1,0 +1,35 @@
+(** Uniform interface to abortable consensus instances.
+
+    An abortable consensus instance returns a commit or abort indication
+    together with a decision value (Section 4.2). [⊥] is represented as
+    [None]:
+    - [Commit (Some d)] — the instance decided [d];
+    - [Commit None] — the caller proposed [⊥] on an undecided instance (a
+      probe, or initialisation with no inherited value), deciding nothing;
+    - [Abort w] — contention: [w] is the instance's current tentative value
+      ([None] when it has none).
+
+    [run] is the paper's wrapper (the [SplitConsensus]/[AbortableBakery]
+    procedures of Appendix A): first propose the inherited value [old];
+    on abort return [Abort old]; on [Commit None] propose the real value.
+
+    Agreement: all [Commit (Some _)] outcomes of one instance carry the
+    same value. *)
+
+open Scs_composable
+
+type 'v t = {
+  name : string;
+  propose_raw : pid:int -> 'v option -> ('v option, 'v option) Outcome.t;
+      (** the bare [propose] procedure *)
+  run : pid:int -> old:'v option -> 'v -> ('v option, 'v option) Outcome.t;
+      (** the [init]+[propose] wrapper *)
+}
+
+val wrap :
+  name:string -> (pid:int -> 'v option -> ('v option, 'v option) Outcome.t) -> 'v t
+(** Build the standard wrapper around a bare [propose]. *)
+
+val probe : 'v t -> pid:int -> 'v option
+(** Best-known decision value: propose [⊥] and take the returned value,
+    whether committed or aborted (Section 4.2's recovery read). *)

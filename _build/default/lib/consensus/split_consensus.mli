@@ -1,0 +1,15 @@
+(** SplitConsensus (Appendix A, Algorithm 3): abortable consensus from a
+    splitter and two registers, after Luchangco, Moir and Shavit.
+
+    Solo step complexity is O(1). The instance commits in the absence of
+    {e interval} contention; under contention it may abort, returning the
+    current tentative value. A committed owner that saw no contention
+    resets the splitter, making the instance reusable (needed by the
+    wrapper's ⊥-then-value two-phase proposal). *)
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  type 'v t
+
+  val create : name:string -> unit -> 'v t
+  val instance : 'v t -> 'v Consensus_intf.t
+end

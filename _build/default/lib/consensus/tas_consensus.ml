@@ -1,0 +1,22 @@
+module Make (P : Scs_prims.Prims_intf.S) = struct
+  type 'v t = { props : 'v option P.reg array; t : P.tas_obj }
+
+  let create ~name () =
+    {
+      props = Array.init 2 (fun i -> P.reg ~name:(Printf.sprintf "%s.prop[%d]" name i) None);
+      t = P.tas_obj ~name:(name ^ ".T") ();
+    }
+
+  let propose t ~pid v =
+    if pid < 0 || pid > 1 then invalid_arg "Tas_consensus.propose: pid must be 0 or 1";
+    P.write t.props.(pid) (Some v);
+    if P.test_and_set t.t then v
+    else begin
+      match P.read t.props.(1 - pid) with
+      | Some w -> w
+      | None ->
+          (* The winner wrote its proposal before playing TAS, so a loser
+             always finds it. *)
+          assert false
+    end
+end

@@ -1,0 +1,13 @@
+(** Two-process wait-free consensus from one hardware test-and-set and two
+    registers — the classic witness that TAS has consensus number exactly 2
+    (Herlihy 1991), used by experiment T6 to certify the computational
+    power of the speculative TAS's base objects. *)
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  type 'v t
+
+  val create : name:string -> unit -> 'v t
+
+  val propose : 'v t -> pid:int -> 'v -> 'v
+  (** [pid] must be 0 or 1. *)
+end

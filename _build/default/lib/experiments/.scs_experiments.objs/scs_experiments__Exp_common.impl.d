@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: List Printf Scs_tas Scs_workload Tas_run

@@ -1,0 +1,1 @@
+lib/experiments/exp_f1.ml: Chart Exp_common Hashtbl List Policy Printf Scs_sim Scs_spec Scs_tas Scs_util Scs_workload Table Tas_run

@@ -1,0 +1,1 @@
+lib/experiments/exp_f2.ml: Domain Exp_common List Objects Printf Scs_prims Scs_spec Scs_tas Scs_util Table Unix

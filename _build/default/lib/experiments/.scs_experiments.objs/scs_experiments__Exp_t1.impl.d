@@ -1,0 +1,1 @@
+lib/experiments/exp_t1.ml: Detect Exp_common List Outcome Policy Printf Rng Scs_composable Scs_prims Scs_sim Scs_tas Scs_util Sim Table

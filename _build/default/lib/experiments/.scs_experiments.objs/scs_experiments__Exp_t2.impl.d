@@ -1,0 +1,1 @@
+lib/experiments/exp_t2.ml: Exp_common List Policy Printf Scs_sim Scs_tas Scs_util Scs_workload Table Tas_run

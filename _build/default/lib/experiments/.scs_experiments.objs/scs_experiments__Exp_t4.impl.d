@@ -1,0 +1,1 @@
+lib/experiments/exp_t4.ml: Cons_run Exp_common List Outcome Policy Printf Scs_composable Scs_sim Scs_util Scs_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_t5.ml: Exp_common List Objects Policy Printf Scs_sim Scs_spec Scs_util Scs_workload Table Tas_run Uc_run

@@ -1,0 +1,1 @@
+lib/experiments/exp_t6.ml: Exp_common List Objects Policy Rng Scs_consensus Scs_prims Scs_sim Scs_spec Scs_universal Scs_util Scs_workload Sim Table Tas_run

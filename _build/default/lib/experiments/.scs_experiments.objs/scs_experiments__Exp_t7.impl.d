@@ -1,0 +1,1 @@
+lib/experiments/exp_t7.ml: Exp_common List Policy Scs_sim Scs_util Scs_workload Table Tas_run

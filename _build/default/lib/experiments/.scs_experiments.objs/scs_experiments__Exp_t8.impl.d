@@ -1,0 +1,1 @@
+lib/experiments/exp_t8.ml: Exp_common List Policy Printf Rng Scs_sim Scs_tas Scs_util Scs_workload Sim Table Tas_run

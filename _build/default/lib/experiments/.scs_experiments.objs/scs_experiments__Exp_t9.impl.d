@@ -1,0 +1,1 @@
+lib/experiments/exp_t9.ml: Exp_common List Objects Policy Request Rng Scs_futures Scs_prims Scs_sim Scs_spec Scs_util Scs_workload Sim Spec_object Table Tas_run Uc_run

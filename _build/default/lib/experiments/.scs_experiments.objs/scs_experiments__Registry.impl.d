@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_f1 Exp_f2 Exp_t1 Exp_t2 Exp_t3 Exp_t4 Exp_t5 Exp_t6 Exp_t7 Exp_t8 Exp_t9 List String

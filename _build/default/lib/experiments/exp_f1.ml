@@ -1,0 +1,75 @@
+(** F1 — Figure 1 dynamics: the long-lived object resolves operations in
+    the register-only module under low contention, switches forward to the
+    hardware module as contention grows, and the reset back edge returns
+    it to speculation. Rendered as a contention sweep. *)
+
+open Scs_sim
+open Scs_util
+open Scs_workload
+
+let sweep_point ~switch_prob =
+  let ops = ref [] in
+  let hw_rounds = ref 0 and rounds = ref 0 in
+  for seed = 1 to 20 do
+    let r =
+      Tas_run.long_lived ~seed ~n:4 ~ops_per_proc:6
+        ~policy:(fun rng -> Policy.sticky rng ~switch_prob)
+        ()
+    in
+    ops := r.Tas_run.ops @ !ops;
+    (* per-round resolution: was the round's winner decided in hardware? *)
+    let winners = Hashtbl.create 16 in
+    List.iter
+      (fun (o : Tas_run.op_record) ->
+        if o.Tas_run.resp = Scs_spec.Objects.Winner then
+          Hashtbl.replace winners o.Tas_run.round o.Tas_run.stage)
+      r.Tas_run.ops;
+    Hashtbl.iter
+      (fun _ stage ->
+        incr rounds;
+        if stage = Some Scs_tas.One_shot.Fallback then incr hw_rounds)
+      winners
+  done;
+  let all = !ops in
+  let hw_round_frac =
+    if !rounds = 0 then 0.0 else float_of_int !hw_rounds /. float_of_int !rounds
+  in
+  (Exp_common.fast_fraction all, Exp_common.mean_steps all, Exp_common.mean_rmws all,
+   hw_round_frac)
+
+let probs = [ 0.0; 0.05; 0.1; 0.2; 0.35; 0.5; 0.75; 1.0 ]
+
+let run () =
+  Exp_common.section "F1"
+    "Figure 1 dynamics: fast-path share and cost vs contention (long-lived, n=4)";
+  let points = List.map (fun p -> (p, sweep_point ~switch_prob:p)) probs in
+  let rows =
+    List.map
+      (fun (p, (fast, steps, rmws, hw_rounds)) ->
+        [
+          Printf.sprintf "%.2f" p;
+          Printf.sprintf "%.0f%%" (100.0 *. fast);
+          Printf.sprintf "%.0f%%" (100.0 *. hw_rounds);
+          Exp_common.f2 steps;
+          Exp_common.f2 rmws;
+        ])
+      points
+  in
+  Table.print
+    ~title:
+      "Contention dial = probability the scheduler switches process each step (paper: \
+       speculation resolves ops on registers at low contention; hardware absorbs high \
+       contention; resets keep returning the object to the fast module)"
+    ~header:
+      [ "contention"; "fast-path ops"; "rounds won in hardware"; "mean steps/op"; "mean RMWs/op" ]
+    rows;
+  print_newline ();
+  print_string
+    (Chart.series ~width:46 ~title:"Rounds won in the hardware module vs contention (%)" ()
+       (List.map
+          (fun (p, (_, _, _, hw)) -> (Printf.sprintf "p=%.2f" p, 100.0 *. hw))
+          points));
+  print_newline ();
+  print_string
+    (Chart.series ~width:46 ~title:"Mean RMW operations per op vs contention" ()
+       (List.map (fun (p, (_, _, rmws, _)) -> (Printf.sprintf "p=%.2f" p, rmws)) points))

@@ -1,0 +1,74 @@
+(** T5 — The cost of generic composition: a universal-construction switch
+    transfers the full request history (Θ(k) after k requests), whereas
+    the semantics-aware TAS transfers a single switch value (O(1))
+    (Section 4 "Complexity Cost" vs Section 5/6). *)
+
+open Scs_util
+open Scs_spec
+open Scs_sim
+open Scs_workload
+
+let uc_switch_lens ~ops_per_proc =
+  let lens = ref [] in
+  for seed = 1 to 25 do
+    let r =
+      Uc_run.run ~seed ~n:3 ~ops_per_proc
+        ~stages:[ Uc_run.S_split; Uc_run.S_cas ]
+        ~policy:(fun rng -> Policy.sticky rng ~switch_prob:0.05)
+        ~gen_payload:(fun ~pid:_ ~k:_ -> Objects.Fai_inc)
+        ()
+    in
+    lens := List.map snd r.Uc_run.switch_lens @ !lens
+  done;
+  !lens
+
+let run () =
+  Exp_common.section "T5"
+    "State transferred on a module switch: generic (UC) vs semantics-aware (TAS)";
+  let rows =
+    List.map
+      (fun ops ->
+        let lens = uc_switch_lens ~ops_per_proc:ops in
+        let mean =
+          match lens with
+          | [] -> 0.0
+          | l -> float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+        in
+        [
+          string_of_int (3 * ops);
+          string_of_int (List.length lens);
+          Exp_common.f2 mean;
+          string_of_int (List.fold_left max 0 lens);
+          "1 (switch token)";
+        ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  Table.print
+    ~title:
+      "Abort-history length at switch, universal construction (split→cas), 3 processes, \
+       sticky schedules (paper: Θ(committed requests) for UC; O(1) for the TAS modules)"
+    ~header:
+      [ "total requests"; "switches observed"; "mean |h_abort|"; "max |h_abort|"; "TAS transfer" ]
+    rows;
+  print_newline ();
+  (* per-operation step cost comparison: UC TAS vs composed TAS, solo *)
+  let uc_solo_steps =
+    let r =
+      Uc_run.run ~n:3 ~ops_per_proc:1
+        ~stages:[ Uc_run.S_split; Uc_run.S_cas ]
+        ~policy:(fun _ -> Policy.solo 0)
+        ~gen_payload:(fun ~pid:_ ~k:_ -> Objects.Fai_inc)
+        ()
+    in
+    match r.Uc_run.responses with (_, _, steps) :: _ -> steps | [] -> 0
+  in
+  let tas_solo_steps =
+    let r = Tas_run.one_shot ~n:3 ~algo:Tas_run.Composed ~policy:(fun _ -> Policy.solo 0) () in
+    match r.Tas_run.ops with o :: _ -> o.Tas_run.steps | [] -> 0
+  in
+  Exp_common.note
+    (Printf.sprintf
+       "Solo operation cost: universal construction %d steps (announce via snapshot + \
+        consensus) vs semantics-aware composed TAS %d steps — the generic construction's \
+        overhead the paper's Section 5 framework removes."
+       uc_solo_steps tas_solo_steps)

@@ -1,0 +1,53 @@
+(** T7 — Fence complexity ("Laws of Order", the paper's reference [7]):
+    TAS-like objects need at least one RAW or AWAR per operation. The
+    speculative TAS pays exactly one RAW on the uncontended fast path —
+    optimal — while the hardware baseline pays one AWAR always. *)
+
+open Scs_sim
+open Scs_util
+open Scs_workload
+
+let solo_fences ~algo =
+  let r = Tas_run.one_shot ~n:4 ~algo ~policy:(fun _ -> Policy.solo 0) () in
+  match r.Tas_run.ops with
+  | o :: _ -> (o.Tas_run.raws, o.Tas_run.rmws)
+  | [] -> (0, 0)
+
+let contended_fences ~algo =
+  let raws = ref 0 and rmws = ref 0 and ops = ref 0 in
+  for seed = 1 to 50 do
+    let r = Tas_run.one_shot ~seed ~n:6 ~algo ~policy:Policy.random () in
+    List.iter
+      (fun (o : Tas_run.op_record) ->
+        incr ops;
+        raws := !raws + o.Tas_run.raws;
+        rmws := !rmws + o.Tas_run.rmws)
+      r.Tas_run.ops
+  done;
+  ( float_of_int !raws /. float_of_int !ops,
+    float_of_int !rmws /. float_of_int !ops )
+
+let run () =
+  Exp_common.section "T7" "Fence complexity per operation (RAW + AWAR; optimum ≥ 1)";
+  let rows =
+    List.map
+      (fun algo ->
+        let raw_solo, awar_solo = solo_fences ~algo in
+        let raw_c, awar_c = contended_fences ~algo in
+        [
+          Tas_run.algo_name algo;
+          string_of_int raw_solo;
+          string_of_int awar_solo;
+          string_of_int (raw_solo + awar_solo);
+          Exp_common.f2 raw_c;
+          Exp_common.f2 awar_c;
+        ])
+      [ Tas_run.Composed; Tas_run.Strict; Tas_run.Solo_fast; Tas_run.Hardware; Tas_run.Tournament ]
+  in
+  Table.print
+    ~title:
+      "Fences per operation (paper: the composed TAS is fence-optimal — exactly one RAW \
+       uncontended, no AWAR; hardware pays one AWAR per op)"
+    ~header:
+      [ "algorithm"; "solo RAW"; "solo AWAR"; "solo total"; "contended RAW/op"; "contended AWAR/op" ]
+    rows

@@ -1,0 +1,8 @@
+(** Experiment registry: id → title → runner, shared by [bench/main.exe]
+    and the [scs experiment] CLI command. *)
+
+type t = { id : string; title : string; run : unit -> unit }
+
+val all : t list
+val find : string -> t option
+val run_all : unit -> unit

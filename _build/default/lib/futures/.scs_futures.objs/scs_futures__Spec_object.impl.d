@@ -1,0 +1,1 @@
+lib/futures/spec_object.ml: Cas_consensus History List Printf Request Scs_consensus Scs_prims Scs_spec Scs_universal Spec Splitter

@@ -1,0 +1,1 @@
+lib/futures/spec_object.mli: Request Scs_prims Scs_spec Spec

@@ -1,0 +1,68 @@
+(** A light-weight speculative implementation of {e any} sequential type —
+    the paper's future-work direction (Section 7: "apply our framework to
+    implementations of more complex objects, such as queues or
+    fetch-and-increment registers").
+
+    Structure, mirroring the speculative TAS:
+    - the {b fast module} keeps the object's state in one atomic register
+      together with the list of applied requests and their responses; an
+      operation writes an ownership register, applies the request locally,
+      publishes the new state, and re-checks ownership and the [aborted]
+      flag (the [A1] pattern generalised). Solo cost is O(1) shared-memory
+      steps — against the universal construction's Θ(n) announce/scan per
+      operation;
+    - on contention the module aborts with the {b applied-request history}
+      as the switch value, and the process moves permanently to a
+      wait-free universal-construction instance (CAS consensus)
+      initialised with that history. A request that took effect before the
+      abort is not re-executed: the history carries its response.
+
+    The experiment this module exists for (T9): the switch value is
+    Θ(applied history) for a queue or a counter — the response-replay
+    table cannot be compressed away for types whose responses depend on
+    long-past operations — whereas the TAS of Section 6 collapses it to
+    one token. Composability of the fast path costs O(1) {e time} for any
+    type, but O(1) {e state} only when the semantics allow.
+
+    [`State_only] transfer mode deliberately reproduces the naive design
+    that drops the replay table and re-synthesises the state as fresh
+    requests: a request whose effect survived the abort is then applied
+    twice, and tests exhibit the resulting non-linearizable executions.
+    It exists as an executable negative result; use [`History] (default)
+    for correctness. *)
+
+open Scs_spec
+
+type transfer = History | State_only
+type stage = Fast | Fallback
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  type ('q, 'i, 'r) t
+  type ('q, 'i, 'r) handle
+
+  val create :
+    ?transfer:transfer ->
+    name:string ->
+    n:int ->
+    max_requests:int ->
+    spec:('q, 'i, 'r) Spec.t ->
+    state_to_requests:('q -> 'i list) ->
+    unit ->
+    ('q, 'i, 'r) t
+  (** [state_to_requests] re-synthesises a state as a request sequence and
+      is only used by the [State_only] transfer mode (e.g. a queue state
+      [\[1;2\]] becomes [\[Enqueue 1; Enqueue 2\]]). *)
+
+  val handle : ('q, 'i, 'r) t -> pid:int -> ('q, 'i, 'r) handle
+
+  val apply : ('q, 'i, 'r) handle -> 'i Request.t -> 'r
+  (** Wait-free once the fallback stage is reached; obstruction-free
+      before. Request ids must be globally unique. *)
+
+  val stage_of : ('q, 'i, 'r) handle -> stage
+  val switch_len : ('q, 'i, 'r) handle -> int option
+  (** Length of the transferred history, once switched. *)
+
+  val fast_solo_steps : unit -> int
+  (** The fast path's solo step count (for the harness; constant). *)
+end

@@ -1,0 +1,1 @@
+lib/history/abstract_check.ml: Hashtbl History List Printf Request Scs_spec

@@ -1,0 +1,1 @@
+lib/history/abstract_check.mli: History Request Scs_spec

@@ -1,0 +1,1 @@
+lib/history/linearize.ml: Array Hashtbl List Option Request Scs_spec Spec Trace

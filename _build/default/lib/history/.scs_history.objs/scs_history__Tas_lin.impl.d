@@ -1,0 +1,1 @@
+lib/history/tas_lin.ml: List Objects Scs_spec Trace

@@ -1,0 +1,1 @@
+lib/history/tas_lin.mli: Objects Scs_spec Trace

@@ -1,0 +1,1 @@
+lib/history/trace.ml: Array Hashtbl List Printf Request Scs_spec Scs_util Vec

@@ -1,0 +1,1 @@
+lib/history/trace.mli: Request Scs_spec

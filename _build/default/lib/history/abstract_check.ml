@@ -1,0 +1,114 @@
+open Scs_spec
+
+type 'i event =
+  | Invoke of { seq : int; pid : int; req : 'i Request.t }
+  | Init of { seq : int; pid : int; req : 'i Request.t; hist : 'i History.t }
+  | Commit of { seq : int; pid : int; req : 'i Request.t; hist : 'i History.t }
+  | Abort of { seq : int; pid : int; req : 'i Request.t; hist : 'i History.t }
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let commit_hists evs =
+  List.filter_map (function Commit { hist; _ } -> Some hist | _ -> None) evs
+
+let abort_hists evs = List.filter_map (function Abort { hist; _ } -> Some hist | _ -> None) evs
+let init_hists evs = List.filter_map (function Init { hist; _ } -> Some hist | _ -> None) evs
+
+let check_commit_order evs =
+  let rec pairs = function
+    | [] -> Ok ()
+    | h :: rest ->
+        let bad =
+          List.exists (fun h' -> not (History.is_prefix h h' || History.is_prefix h' h)) rest
+        in
+        if bad then fail "Commit Order: two commit histories are not prefix-ordered"
+        else pairs rest
+  in
+  pairs (commit_hists evs)
+
+let check_abort_ordering evs =
+  let commits = commit_hists evs in
+  let aborts = abort_hists evs in
+  if
+    List.for_all (fun c -> List.for_all (fun a -> History.is_prefix c a) aborts) commits
+  then Ok ()
+  else fail "Abort Ordering: some commit history is not a prefix of some abort history"
+
+(* The seq at which each request id becomes "invoked": its own Invoke/Init
+   event, or the first init event whose history carries it. *)
+let invocation_seqs evs =
+  let tbl = Hashtbl.create 32 in
+  let note id seq =
+    match Hashtbl.find_opt tbl id with
+    | Some s when s <= seq -> ()
+    | _ -> Hashtbl.replace tbl id seq
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Invoke { seq; req; _ } -> note (Request.id req) seq
+      | Init { seq; req; hist; _ } ->
+          note (Request.id req) seq;
+          List.iter (fun r -> note (Request.id r) seq) hist
+      | Commit _ | Abort _ -> ())
+    evs;
+  tbl
+
+type validity_timing = Per_index | Global
+
+let check_validity ~validity evs =
+  let invoked = invocation_seqs evs in
+  let check_hist ~kind ~seq ~req hist =
+    let* () =
+      if History.no_dups hist then Ok ()
+      else fail "Validity: duplicate request in a %s history (seq %d)" kind seq
+    in
+    let* () =
+      if History.mem (Request.id req) hist then Ok ()
+      else fail "Validity: %s history at seq %d does not contain its own request" kind seq
+    in
+    let bad =
+      List.find_opt
+        (fun r ->
+          match Hashtbl.find_opt invoked (Request.id r) with
+          | Some s -> s > seq
+          | None -> true)
+        hist
+    in
+    match bad with
+    | None -> Ok ()
+    | Some r ->
+        fail "Validity: request %d in %s history at seq %d was not invoked before the response"
+          (Request.id r) kind seq
+  in
+  let eff_seq seq = match validity with Per_index -> seq | Global -> max_int in
+  List.fold_left
+    (fun acc ev ->
+      let* () = acc in
+      match ev with
+      | Commit { seq; req; hist; _ } -> check_hist ~kind:"commit" ~seq:(eff_seq seq) ~req hist
+      | Abort { seq; req; hist; _ } -> check_hist ~kind:"abort" ~seq:(eff_seq seq) ~req hist
+      | Invoke _ | Init _ -> Ok ())
+    (Ok ()) evs
+
+let check_init_ordering evs =
+  match init_hists evs with
+  | [] -> Ok ()
+  | h :: rest ->
+      let common = List.fold_left History.common_prefix h rest in
+      let targets = commit_hists evs @ abort_hists evs in
+      if List.for_all (fun t -> History.is_prefix common t) targets then Ok ()
+      else
+        fail
+          "Init Ordering: the common prefix of init histories is not a prefix of every \
+           commit/abort history"
+
+let check ?(validity = Per_index) evs =
+  let* () = check_commit_order evs in
+  let* () = check_abort_ordering evs in
+  let* () = check_validity ~validity evs in
+  check_init_ordering evs
+
+let is_ok ?validity evs = match check ?validity evs with Ok () -> true | Error _ -> false

@@ -1,0 +1,21 @@
+(** Generic linearizability checking (Wing & Gong / Herlihy & Wing).
+
+    Given a sequential specification and a real-time trace of operations,
+    decide whether the committed responses can be explained by some
+    sequential execution that respects real-time precedence. Pending
+    operations (invoked, never responded — e.g. crashed processes) may be
+    linearized with any response or dropped; aborted operations are treated
+    as pending, because an aborted operation of a safely composable module
+    may or may not have taken effect (Section 5).
+
+    The search is exponential in the worst case and memoized on
+    (linearized-set, object state); it is intended for the checker-sized
+    traces produced by the test suite (≤ 62 operations). *)
+
+open Scs_spec
+
+val check_operations : ('q, 'i, 'r) Spec.t -> ('i, 'r, 'v) Trace.operation list -> bool
+(** Raises [Invalid_argument] beyond 62 operations. *)
+
+val check_events : ('q, 'i, 'r) Spec.t -> ('i, 'r, 'v) Trace.event array -> bool
+(** [check_operations] composed with {!Trace.operations}. *)

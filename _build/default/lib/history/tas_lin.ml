@@ -1,0 +1,46 @@
+open Scs_spec
+
+let check_one_shot ops =
+  let winners =
+    List.filter
+      (fun (o : _ Trace.operation) ->
+        match o.Trace.outcome with
+        | Trace.Committed { resp = Objects.Winner; _ } -> true
+        | _ -> false)
+      ops
+  in
+  let losers =
+    List.filter
+      (fun (o : _ Trace.operation) ->
+        match o.Trace.outcome with
+        | Trace.Committed { resp = Objects.Loser; _ } -> true
+        | _ -> false)
+      ops
+  in
+  let incomplete =
+    List.filter
+      (fun (o : _ Trace.operation) ->
+        match o.Trace.outcome with Trace.Aborted _ | Trace.Pending -> true | _ -> false)
+      ops
+  in
+  match winners with
+  | _ :: _ :: _ -> false
+  | _ -> (
+      match losers with
+      | [] -> true
+      | _ ->
+          let first_loser_resp =
+            List.fold_left
+              (fun acc (o : _ Trace.operation) ->
+                match o.Trace.outcome with
+                | Trace.Committed { resp_seq; _ } -> min acc resp_seq
+                | _ -> acc)
+              max_int losers
+          in
+          let can_win (o : _ Trace.operation) = o.Trace.invoke_seq < first_loser_resp in
+          (match winners with
+          | [ w ] -> can_win w
+          | [] -> List.exists can_win incomplete
+          | _ -> false))
+
+let check_long_lived ~rounds = List.for_all check_one_shot rounds

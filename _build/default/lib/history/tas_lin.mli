@@ -1,0 +1,23 @@
+(** Specialised linearizability checking for test-and-set traces.
+
+    For one-shot TAS the Herlihy–Wing condition collapses to a closed form
+    (cf. the invariants in the proof of Lemma 4):
+    - at most one operation commits winner;
+    - if some operation commits loser, an operation that can be linearized
+      as the winner (the committed winner, or a pending/aborted operation)
+      must have been invoked before the first loser committed.
+
+    This runs in O(m) and is cross-validated against the generic checker by
+    property tests. *)
+
+open Scs_spec
+
+val check_one_shot : (Objects.tas_req, Objects.tas_resp, 'v) Trace.operation list -> bool
+
+val check_long_lived :
+  rounds:(Objects.tas_req, Objects.tas_resp, 'v) Trace.operation list list -> bool
+(** The long-lived object of Algorithm 2 linearizes round by round
+    (Theorem 4): each element of [rounds] holds the operations of one
+    [TAS[i]] instance, and the whole trace is linearizable iff every round
+    is. Round boundaries are established by the atomic [Count] register, so
+    cross-round real-time order is respected by construction. *)

@@ -1,0 +1,65 @@
+(** High-level operation traces.
+
+    A trace is the real-time sequence of invocation, init, commit and abort
+    events observed at the boundary of an implementation (Section 3 of the
+    paper). Events carry two notions of time:
+    - their position in the trace ([seq], assigned by the recorder), which
+      defines the real-time precedence order used by the linearizability
+      and Abstract checkers, and
+    - the simulator's memory-step clock ([ts]), used by the contention
+      detectors.
+
+    ['v] is the type of switch values. *)
+
+open Scs_spec
+
+type ('i, 'r, 'v) event =
+  | Invoke of { seq : int; ts : int; pid : int; req : 'i Request.t }
+  | Init of { seq : int; ts : int; pid : int; req : 'i Request.t; switch : 'v }
+      (** an invocation carrying a switch value for module initialisation *)
+  | Commit of { seq : int; ts : int; pid : int; req : 'i Request.t; resp : 'r }
+  | Abort of { seq : int; ts : int; pid : int; req : 'i Request.t; switch : 'v }
+
+val event_seq : ('i, 'r, 'v) event -> int
+val event_pid : ('i, 'r, 'v) event -> int
+val event_req : ('i, 'r, 'v) event -> 'i Request.t
+
+(** {1 Recording} *)
+
+type ('i, 'r, 'v) t
+
+val create : ?clock:(unit -> int) -> unit -> ('i, 'r, 'v) t
+(** [clock] supplies the logical timestamp of each event (default: the
+    event's own sequence number). *)
+
+val invoke : ('i, 'r, 'v) t -> pid:int -> 'i Request.t -> unit
+val init : ('i, 'r, 'v) t -> pid:int -> 'i Request.t -> 'v -> unit
+val commit : ('i, 'r, 'v) t -> pid:int -> 'i Request.t -> 'r -> unit
+val abort : ('i, 'r, 'v) t -> pid:int -> 'i Request.t -> 'v -> unit
+val events : ('i, 'r, 'v) t -> ('i, 'r, 'v) event array
+val length : ('i, 'r, 'v) t -> int
+
+(** {1 Derived operation view} *)
+
+type ('i, 'r, 'v) operation = {
+  op_pid : int;
+  op_req : 'i Request.t;
+  invoke_seq : int;
+  invoke_ts : int;
+  op_init : 'v option;  (** switch value if invoked via [init] *)
+  outcome : ('i, 'r, 'v) outcome;
+}
+
+and ('i, 'r, 'v) outcome =
+  | Committed of { resp : 'r; resp_seq : int; resp_ts : int }
+  | Aborted of { switch : 'v; resp_seq : int; resp_ts : int }
+  | Pending  (** invoked, never responded (e.g. crashed) *)
+
+val operations : ('i, 'r, 'v) event array -> ('i, 'r, 'v) operation list
+(** Pair invocations with their responses (matched by request id). Raises
+    [Invalid_argument] on malformed traces (response without invocation,
+    duplicate invocation of one request id, ...). *)
+
+val committed : ('i, 'r, 'v) operation list -> ('i, 'r, 'v) operation list
+val aborted : ('i, 'r, 'v) operation list -> ('i, 'r, 'v) operation list
+val pending : ('i, 'r, 'v) operation list -> ('i, 'r, 'v) operation list

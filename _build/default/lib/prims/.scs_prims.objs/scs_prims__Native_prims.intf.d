@@ -1,0 +1,1 @@
+lib/prims/native_prims.mli: Prims_intf

@@ -1,0 +1,1 @@
+lib/prims/prims_intf.ml:

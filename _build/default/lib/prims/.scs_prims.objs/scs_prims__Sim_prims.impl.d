@@ -1,0 +1,1 @@
+lib/prims/sim_prims.ml: Prims_intf Scs_sim Sim

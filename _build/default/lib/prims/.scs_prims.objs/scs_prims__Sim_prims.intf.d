@@ -1,0 +1,1 @@
+lib/prims/sim_prims.mli: Prims_intf Scs_sim

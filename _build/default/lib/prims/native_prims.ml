@@ -1,0 +1,32 @@
+type 'a reg = 'a Atomic.t
+
+let reg ~name:_ v = Atomic.make v
+let read = Atomic.get
+let write = Atomic.set
+
+type tas_obj = bool Atomic.t
+
+let tas_obj ~name:_ () = Atomic.make false
+let test_and_set o = not (Atomic.exchange o true)
+let tas_read = Atomic.get
+let tas_reset o = Atomic.set o false
+
+type fai_obj = int Atomic.t
+
+let fai_obj ~name:_ v = Atomic.make v
+let fetch_and_inc o = Atomic.fetch_and_add o 1
+let fai_read = Atomic.get
+
+type 'a swap_obj = 'a Atomic.t
+
+let swap_obj ~name:_ v = Atomic.make v
+let swap = Atomic.exchange
+let swap_read = Atomic.get
+
+type 'a cas_obj = 'a Atomic.t
+
+let cas_obj ~name:_ v = Atomic.make v
+let cas_read = Atomic.get
+let compare_and_swap o ~expect ~update = Atomic.compare_and_set o expect update
+
+let pause () = Domain.cpu_relax ()

@@ -1,0 +1,5 @@
+(** {!Prims_intf.S} implemented on OCaml 5 [Atomic], for genuinely parallel
+    execution under [Domain]s. Names are accepted for interface parity and
+    ignored. *)
+
+include Prims_intf.S

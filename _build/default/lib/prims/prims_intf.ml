@@ -1,0 +1,72 @@
+(** The base-object interface every algorithm in this repository is written
+    against.
+
+    Algorithms are functors over {!S}, so the exact same code runs on:
+    - the deterministic simulator ({!Sim_prims}), where each operation is an
+      effect handled by the scheduler and counted against the paper's
+      complexity metrics; and
+    - real OCaml 5 multicore ({!Native_prims}), where operations map to
+      [Atomic] and executions are genuinely parallel.
+
+    The interface deliberately mirrors the paper's base objects:
+    multi-writer multi-reader atomic registers (consensus number 1),
+    hardware test-and-set (consensus number 2), fetch-and-increment
+    (consensus number 2) and compare-and-swap (consensus number ∞). The
+    consensus-power audit of experiment T6 relies on algorithms only ever
+    touching objects through this interface. *)
+
+module type S = sig
+  (** {1 Atomic MWMR registers — consensus number 1} *)
+
+  type 'a reg
+
+  val reg : name:string -> 'a -> 'a reg
+  val read : 'a reg -> 'a
+  val write : 'a reg -> 'a -> unit
+
+  (** {1 Hardware test-and-set — consensus number 2} *)
+
+  type tas_obj
+
+  val tas_obj : name:string -> unit -> tas_obj
+
+  val test_and_set : tas_obj -> bool
+  (** [true] iff the caller won (read 0, wrote 1 atomically). *)
+
+  val tas_read : tas_obj -> bool
+  val tas_reset : tas_obj -> unit
+
+  (** {1 Fetch-and-increment — consensus number 2} *)
+
+  type fai_obj
+
+  val fai_obj : name:string -> int -> fai_obj
+  val fetch_and_inc : fai_obj -> int
+  val fai_read : fai_obj -> int
+
+  (** {1 Swap — consensus number 2} *)
+
+  type 'a swap_obj
+
+  val swap_obj : name:string -> 'a -> 'a swap_obj
+
+  val swap : 'a swap_obj -> 'a -> 'a
+  (** Atomically exchange, returning the previous value. *)
+
+  val swap_read : 'a swap_obj -> 'a
+
+  (** {1 Compare-and-swap — consensus number ∞}
+
+      Comparison is physical equality, as with [Atomic.compare_and_set]. *)
+
+  type 'a cas_obj
+
+  val cas_obj : name:string -> 'a -> 'a cas_obj
+  val cas_read : 'a cas_obj -> 'a
+  val compare_and_swap : 'a cas_obj -> expect:'a -> update:'a -> bool
+
+  (** {1 Scheduling hint} *)
+
+  val pause : unit -> unit
+  (** Native: [Domain.cpu_relax]. Simulator: consume one scheduler turn. *)
+end

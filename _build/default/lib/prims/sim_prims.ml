@@ -1,0 +1,37 @@
+open Scs_sim
+
+let make (sim : Sim.t) : (module Prims_intf.S) =
+  (module struct
+    type 'a reg = 'a Sim.reg
+
+    let reg ~name v = Sim.reg sim ~name v
+    let read = Sim.read
+    let write = Sim.write
+
+    type tas_obj = Sim.tas_obj
+
+    let tas_obj ~name () = Sim.tas_obj sim ~name ()
+    let test_and_set = Sim.test_and_set
+    let tas_read = Sim.tas_read
+    let tas_reset = Sim.tas_reset
+
+    type fai_obj = Sim.fai_obj
+
+    let fai_obj ~name v = Sim.fai_obj sim ~name v
+    let fetch_and_inc = Sim.fetch_and_inc
+    let fai_read = Sim.fai_read
+
+    type 'a swap_obj = 'a Sim.swap_obj
+
+    let swap_obj ~name v = Sim.swap_obj sim ~name v
+    let swap = Sim.swap
+    let swap_read = Sim.swap_read
+
+    type 'a cas_obj = 'a Sim.cas_obj
+
+    let cas_obj ~name v = Sim.cas_obj sim ~name v
+    let cas_read = Sim.cas_read
+    let compare_and_swap = Sim.compare_and_swap
+
+    let pause () = Sim.pause sim
+  end)

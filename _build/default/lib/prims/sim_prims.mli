@@ -1,0 +1,8 @@
+(** {!Prims_intf.S} backed by the deterministic simulator.
+
+    [make sim] returns a first-class primitives module whose object
+    constructors allocate inside [sim] and whose operations perform effects
+    handled by [sim]'s scheduler. Code using the resulting module must run
+    inside a fiber spawned on the same simulator. *)
+
+val make : Scs_sim.Sim.t -> (module Prims_intf.S)

@@ -1,0 +1,1 @@
+lib/sim/detect.ml: Array List Mem_event

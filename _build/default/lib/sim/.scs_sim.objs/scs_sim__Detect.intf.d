@@ -1,0 +1,1 @@
+lib/sim/detect.mli: Mem_event

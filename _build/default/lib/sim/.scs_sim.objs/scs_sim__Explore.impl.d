@@ -1,0 +1,1 @@
+lib/sim/explore.ml: List Policy Rng Scs_util Sim

@@ -1,0 +1,1 @@
+lib/sim/mem_event.mli: Op

@@ -1,0 +1,1 @@
+lib/sim/policy.ml: Array List Rng Scs_util Sim

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Effect Mem_event Op Printf Scs_util Vec

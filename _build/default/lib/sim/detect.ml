@@ -1,0 +1,16 @@
+type interval = { pid : int; start_ts : int; end_ts : int }
+
+let step_contended events iv =
+  Array.exists
+    (fun (e : Mem_event.t) -> e.pid <> iv.pid && e.ts > iv.start_ts && e.ts <= iv.end_ts)
+    events
+
+let steps_within events iv =
+  Array.fold_left
+    (fun acc (e : Mem_event.t) ->
+      if e.pid = iv.pid && e.ts > iv.start_ts && e.ts <= iv.end_ts then acc + 1 else acc)
+    0 events
+
+let overlap a b = a.pid <> b.pid && a.start_ts < b.end_ts && b.start_ts < a.end_ts
+
+let interval_contended all iv = List.exists (fun other -> overlap iv other) all

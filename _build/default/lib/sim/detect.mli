@@ -1,0 +1,30 @@
+(** Contention-class detectors.
+
+    The paper's progress conditions quantify over execution classes:
+    - {e step contention} for an operation: some other process takes a
+      shared-memory step within the operation's execution interval;
+    - {e interval contention}: some other operation on the same object is
+      pending (invoked, not yet responded) at some point of the interval.
+
+    These detectors classify recorded executions so tests can assert, e.g.,
+    "module A1 aborted ⟹ its operation ran under step contention"
+    (Lemma 6). *)
+
+type interval = {
+  pid : int;
+  start_ts : int;  (** clock value at invocation (steps after this count) *)
+  end_ts : int;  (** clock value at response (inclusive) *)
+}
+
+val step_contended : Mem_event.t array -> interval -> bool
+(** True iff another process has a memory step with
+    [start_ts < ts <= end_ts]. *)
+
+val steps_within : Mem_event.t array -> interval -> int
+(** Memory steps by [interval.pid] itself inside the interval. *)
+
+val overlap : interval -> interval -> bool
+(** Two intervals of different processes overlap in real time. *)
+
+val interval_contended : interval list -> interval -> bool
+(** True iff some other process's interval in the list overlaps this one. *)

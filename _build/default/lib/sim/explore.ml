@@ -1,0 +1,44 @@
+open Scs_util
+
+type outcome = { schedules : int; truncated : bool }
+
+let exhaustive ?(max_schedules = 200_000) ?(max_depth = 10_000) ~n ~setup ~check () =
+  let count = ref 0 in
+  let truncated = ref false in
+  (* Replay [prefix] (a reversed pid list) on a fresh simulator and return
+     it together with its runnable set. *)
+  let replay prefix =
+    let sim = Sim.create ~n () in
+    setup sim;
+    List.iter (fun p -> if Sim.is_runnable sim p then Sim.step sim p) (List.rev prefix);
+    sim
+  in
+  let rec dfs prefix depth =
+    if !count >= max_schedules then truncated := true
+    else begin
+      let sim = replay prefix in
+      match Sim.runnable sim with
+      | [] ->
+          incr count;
+          check sim (List.rev prefix)
+      | rs ->
+          if depth >= max_depth then begin
+            incr count;
+            truncated := true;
+            check sim (List.rev prefix)
+          end
+          else List.iter (fun p -> dfs (p :: prefix) (depth + 1)) rs
+    end
+  in
+  dfs [] 0;
+  { schedules = !count; truncated = !truncated }
+
+let random_runs ?(runs = 200) ?(seed = 42) ~n ~setup ~check () =
+  let rng = Rng.create seed in
+  for _ = 1 to runs do
+    let sim = Sim.create ~n () in
+    setup sim;
+    let policy = Policy.random (Rng.split rng) in
+    Sim.run sim policy;
+    check sim
+  done

@@ -1,0 +1,37 @@
+(** Bounded model checking of simulated algorithms.
+
+    [exhaustive] enumerates every interleaving (schedule) of the spawned
+    processes up to a depth and node budget, re-running the simulation from
+    scratch for each prefix (continuations cannot be cloned, so replay is the
+    only sound way to branch). For the small algorithms of the paper — the
+    obstruction-free TAS module, the splitter, 2-process consensus — this
+    gives complete coverage of all executions with 2–3 processes. *)
+
+type outcome = {
+  schedules : int;  (** maximal (or depth-truncated) schedules checked *)
+  truncated : bool;  (** true if a budget stopped the enumeration early *)
+}
+
+val exhaustive :
+  ?max_schedules:int ->
+  ?max_depth:int ->
+  n:int ->
+  setup:(Sim.t -> unit) ->
+  check:(Sim.t -> Sim.pid list -> unit) ->
+  unit ->
+  outcome
+(** [setup] must create shared objects and spawn all processes on the fresh
+    simulator it receives. [check sim schedule] is called after each maximal
+    run ([schedule] is the executed pid sequence); it should raise to report
+    a violation. Defaults: [max_schedules = 200_000], [max_depth = 10_000]. *)
+
+val random_runs :
+  ?runs:int ->
+  ?seed:int ->
+  n:int ->
+  setup:(Sim.t -> unit) ->
+  check:(Sim.t -> unit) ->
+  unit ->
+  unit
+(** [runs] (default 200) random-schedule simulations with distinct streams
+    derived from [seed] (default 42). *)

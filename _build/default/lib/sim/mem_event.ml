@@ -1,0 +1,12 @@
+type t = {
+  ts : int;
+  pid : int;
+  kind : Op.kind;
+  obj : int;
+  obj_name : string;
+  info : string;
+}
+
+let to_string e =
+  Printf.sprintf "[%6d] p%d %-5s %s%s" e.ts e.pid (Op.kind_to_string e.kind) e.obj_name
+    (if e.info = "" then "" else " " ^ e.info)

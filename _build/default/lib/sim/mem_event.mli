@@ -1,0 +1,12 @@
+(** Low-level memory trace events: one per executed shared-memory step. *)
+
+type t = {
+  ts : int;  (** global logical time: value of the step counter after the step *)
+  pid : int;
+  kind : Op.kind;
+  obj : int;
+  obj_name : string;
+  info : string;
+}
+
+val to_string : t -> string

@@ -1,0 +1,11 @@
+type kind = Read | Write | Rmw
+
+type 'r t = {
+  kind : kind;
+  obj : int;
+  obj_name : string;
+  info : string;
+  run : unit -> 'r;
+}
+
+let kind_to_string = function Read -> "read" | Write -> "write" | Rmw -> "rmw"

@@ -1,0 +1,22 @@
+(** Shared-memory operation descriptors.
+
+    Every primitive operation an algorithm performs against simulated shared
+    memory is reified as a value of this type. The simulator's scheduler
+    executes the [run] closure atomically, which is exactly the atomicity
+    granularity of the paper's model: one shared-memory step per scheduler
+    turn, local computation free. *)
+
+type kind =
+  | Read
+  | Write
+  | Rmw  (** atomic read-modify-write: TAS, CAS, fetch&inc, swap *)
+
+type 'r t = {
+  kind : kind;
+  obj : int;  (** unique id of the accessed base object *)
+  obj_name : string;
+  info : string;  (** human-readable description for traces *)
+  run : unit -> 'r;  (** executed atomically by the scheduler *)
+}
+
+val kind_to_string : kind -> string

@@ -1,0 +1,106 @@
+open Scs_util
+
+type t = Sim.t -> Sim.decision
+
+let pick_runnable sim = match Sim.runnable sim with [] -> None | p :: _ -> Some p
+
+let round_robin () =
+  let last = ref (-1) in
+  fun sim ->
+    let n = Sim.n sim in
+    let rec find k =
+      if k > n then Sim.Stop
+      else begin
+        let cand = (!last + k) mod n in
+        if Sim.is_runnable sim cand then begin
+          last := cand;
+          Sim.Sched cand
+        end
+        else find (k + 1)
+      end
+    in
+    find 1
+
+let random rng sim =
+  match Sim.runnable sim with
+  | [] -> Sim.Stop
+  | ps -> Sim.Sched (Rng.pick_list rng ps)
+
+let weighted rng weights sim =
+  let ps = List.filter (fun p -> p < Array.length weights && weights.(p) > 0.0) (Sim.runnable sim) in
+  match ps with
+  | [] -> Sim.Stop
+  | ps ->
+      let total = List.fold_left (fun acc p -> acc +. weights.(p)) 0.0 ps in
+      let x = Rng.float rng *. total in
+      let rec go acc = function
+        | [] -> Sim.Stop
+        | [ p ] -> Sim.Sched p
+        | p :: rest ->
+            let acc = acc +. weights.(p) in
+            if x < acc then Sim.Sched p else go acc rest
+      in
+      go 0.0 ps
+
+let sticky rng ~switch_prob =
+  let current = ref None in
+  fun sim ->
+    let pick () =
+      match Sim.runnable sim with
+      | [] -> Sim.Stop
+      | ps ->
+          let p = Rng.pick_list rng ps in
+          current := Some p;
+          Sim.Sched p
+    in
+    match !current with
+    | Some p when Sim.is_runnable sim p && not (Rng.bernoulli rng switch_prob) -> Sim.Sched p
+    | _ -> pick ()
+
+let solo pid sim = if Sim.is_runnable sim pid then Sim.Sched pid else Sim.Stop
+
+let sequential () =
+ fun sim ->
+  match Sim.runnable sim with [] -> Sim.Stop | p :: _ -> Sim.Sched p
+
+let scripted script =
+  let i = ref 0 in
+  fun sim ->
+    let rec go () =
+      if !i >= Array.length script then Sim.Stop
+      else begin
+        let p = script.(!i) in
+        incr i;
+        if Sim.is_runnable sim p then Sim.Sched p else go ()
+      end
+    in
+    go ()
+
+let scripted_then script fallback =
+  let i = ref 0 in
+  fun sim ->
+    let rec go () =
+      if !i >= Array.length script then fallback sim
+      else begin
+        let p = script.(!i) in
+        incr i;
+        if Sim.is_runnable sim p then Sim.Sched p else go ()
+      end
+    in
+    go ()
+
+let with_crashes crashes inner =
+  let pending = ref crashes in
+  fun sim ->
+    pending :=
+      List.filter
+        (fun (p, k) ->
+          if Sim.steps_of sim p >= k then begin
+            Sim.crash sim p;
+            false
+          end
+          else true)
+        !pending;
+    inner sim
+
+let stop_when pred inner = fun sim -> if pred sim then Sim.Stop else inner sim

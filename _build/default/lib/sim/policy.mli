@@ -1,0 +1,45 @@
+(** Schedule policies: adversaries that pick which process moves next.
+
+    Policies are stateful closures, so every function here returns a fresh
+    policy; reusing one across runs would leak state between simulations. *)
+
+type t = Sim.t -> Sim.decision
+
+val round_robin : unit -> t
+(** Cycle over runnable processes in pid order. *)
+
+val random : Scs_util.Rng.t -> t
+(** Uniform choice among runnable processes at every turn. *)
+
+val weighted : Scs_util.Rng.t -> float array -> t
+(** Choose among runnable processes with the given per-pid weights. A pid
+    with weight 0 never runs. Weights need not be normalised. *)
+
+val sticky : Scs_util.Rng.t -> switch_prob:float -> t
+(** Keep scheduling the same process; at each turn, switch to a uniformly
+    random runnable process with probability [switch_prob]. [0.0] is
+    essentially sequential (contention-free), [1.0] is {!random} — a
+    single dial for the contention sweeps of experiment F1. *)
+
+val solo : Sim.pid -> t
+(** Run only [pid]; stop when it finishes (other processes never move). *)
+
+val sequential : unit -> t
+(** Run process 0 to completion, then 1, and so on: no contention at all. *)
+
+val scripted : Sim.pid array -> t
+(** Follow the given pid sequence, skipping entries that are not runnable;
+    stop when the script is exhausted. *)
+
+val scripted_then : Sim.pid array -> t -> t
+(** Follow the script, then delegate to the fallback policy. *)
+
+val with_crashes : (Sim.pid * int) list -> t -> t
+(** [with_crashes [(p, k); ...] inner] crashes process [p] as soon as it has
+    taken [k] memory steps, then behaves as [inner]. *)
+
+val stop_when : (Sim.t -> bool) -> t -> t
+(** Stop as soon as the predicate holds; otherwise delegate. *)
+
+val pick_runnable : Sim.t -> Sim.pid option
+(** Smallest runnable pid, if any (helper for custom policies). *)

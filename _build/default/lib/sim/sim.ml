@@ -1,0 +1,329 @@
+open Scs_util
+
+type pid = int
+
+exception Livelock of string
+exception Process_failure of pid * exn
+
+type pending = Pending : 'r Op.t * ('r, unit) Effect.Deep.continuation -> pending
+
+type status =
+  | Idle  (** no code installed *)
+  | Ready of (unit -> unit)
+  | Blocked of pending
+  | Done
+  | Crashed
+
+type t = {
+  n : int;
+  max_steps : int;
+  mutable clock : int;
+  status : status array;
+  steps : int array;
+  rmws : int array;
+  raw_fences : int array;
+  dirty_write : bool array;  (** wrote since last fence-inducing event *)
+  mutable next_obj : int;
+  mutable rmw_objs : int;
+  mutable record_trace : bool;
+  trace : Mem_event.t Vec.t;
+  pause_obj : int;
+}
+
+type _ Effect.t += Mem : 'r Op.t -> 'r Effect.t
+
+let create ?(max_steps = 1_000_000) ~n () =
+  {
+    n;
+    max_steps;
+    clock = 0;
+    status = Array.make n Idle;
+    steps = Array.make n 0;
+    rmws = Array.make n 0;
+    raw_fences = Array.make n 0;
+    dirty_write = Array.make n false;
+    next_obj = 1;
+    rmw_objs = 0;
+    record_trace = false;
+    trace = Vec.create ();
+    pause_obj = 0;
+  }
+
+let n t = t.n
+let clock t = t.clock
+
+(* ------------------------------------------------------------------ *)
+(* Shared objects                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_obj t =
+  let id = t.next_obj in
+  t.next_obj <- id + 1;
+  id
+
+type 'a reg = { mutable rv : 'a; r_id : int; r_name : string }
+
+let reg t ~name v = { rv = v; r_id = fresh_obj t; r_name = name }
+
+let read r =
+  Effect.perform
+    (Mem { Op.kind = Op.Read; obj = r.r_id; obj_name = r.r_name; info = ""; run = (fun () -> r.rv) })
+
+let write r v =
+  Effect.perform
+    (Mem
+       {
+         Op.kind = Op.Write;
+         obj = r.r_id;
+         obj_name = r.r_name;
+         info = "";
+         run = (fun () -> r.rv <- v);
+       })
+
+type tas_obj = { mutable t_set : bool; t_id : int; t_name : string }
+
+let tas_obj t ~name () =
+  t.rmw_objs <- t.rmw_objs + 1;
+  { t_set = false; t_id = fresh_obj t; t_name = name }
+
+let test_and_set o =
+  Effect.perform
+    (Mem
+       {
+         Op.kind = Op.Rmw;
+         obj = o.t_id;
+         obj_name = o.t_name;
+         info = "tas";
+         run =
+           (fun () ->
+             if o.t_set then false
+             else begin
+               o.t_set <- true;
+               true
+             end);
+       })
+
+let tas_read o =
+  Effect.perform
+    (Mem
+       { Op.kind = Op.Read; obj = o.t_id; obj_name = o.t_name; info = ""; run = (fun () -> o.t_set) })
+
+let tas_reset o =
+  Effect.perform
+    (Mem
+       {
+         Op.kind = Op.Write;
+         obj = o.t_id;
+         obj_name = o.t_name;
+         info = "reset";
+         run = (fun () -> o.t_set <- false);
+       })
+
+type 'a cas_obj = { mutable c_v : 'a; c_id : int; c_name : string }
+
+let cas_obj t ~name v =
+  t.rmw_objs <- t.rmw_objs + 1;
+  { c_v = v; c_id = fresh_obj t; c_name = name }
+
+let cas_read o =
+  Effect.perform
+    (Mem { Op.kind = Op.Read; obj = o.c_id; obj_name = o.c_name; info = ""; run = (fun () -> o.c_v) })
+
+let compare_and_swap o ~expect ~update =
+  Effect.perform
+    (Mem
+       {
+         Op.kind = Op.Rmw;
+         obj = o.c_id;
+         obj_name = o.c_name;
+         info = "cas";
+         run =
+           (fun () ->
+             if o.c_v == expect then begin
+               o.c_v <- update;
+               true
+             end
+             else false);
+       })
+
+type fai_obj = { mutable f_v : int; f_id : int; f_name : string }
+
+let fai_obj t ~name v =
+  t.rmw_objs <- t.rmw_objs + 1;
+  { f_v = v; f_id = fresh_obj t; f_name = name }
+
+let fetch_and_inc o =
+  Effect.perform
+    (Mem
+       {
+         Op.kind = Op.Rmw;
+         obj = o.f_id;
+         obj_name = o.f_name;
+         info = "fai";
+         run =
+           (fun () ->
+             let v = o.f_v in
+             o.f_v <- v + 1;
+             v);
+       })
+
+let fai_read o =
+  Effect.perform
+    (Mem { Op.kind = Op.Read; obj = o.f_id; obj_name = o.f_name; info = ""; run = (fun () -> o.f_v) })
+
+type 'a swap_obj = { mutable s_v : 'a; s_id : int; s_name : string }
+
+let swap_obj t ~name v =
+  t.rmw_objs <- t.rmw_objs + 1;
+  { s_v = v; s_id = fresh_obj t; s_name = name }
+
+let swap o v =
+  Effect.perform
+    (Mem
+       {
+         Op.kind = Op.Rmw;
+         obj = o.s_id;
+         obj_name = o.s_name;
+         info = "swap";
+         run =
+           (fun () ->
+             let old = o.s_v in
+             o.s_v <- v;
+             old);
+       })
+
+let swap_read o =
+  Effect.perform
+    (Mem { Op.kind = Op.Read; obj = o.s_id; obj_name = o.s_name; info = ""; run = (fun () -> o.s_v) })
+
+let pause t =
+  Effect.perform
+    (Mem { Op.kind = Op.Read; obj = t.pause_obj; obj_name = "pause"; info = ""; run = (fun () -> ()) })
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let handler t pid : (unit, unit) Effect.Deep.handler =
+  {
+    retc = (fun () -> t.status.(pid) <- Done);
+    exnc =
+      (fun e ->
+        t.status.(pid) <- Done;
+        raise (Process_failure (pid, e)));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Mem op ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                t.status.(pid) <- Blocked (Pending (op, k)))
+        | _ -> None);
+  }
+
+let spawn t pid f =
+  if pid < 0 || pid >= t.n then invalid_arg "Sim.spawn: pid out of range";
+  match t.status.(pid) with
+  | Idle -> t.status.(pid) <- Ready f
+  | _ -> invalid_arg "Sim.spawn: process already spawned"
+
+let is_runnable t pid =
+  match t.status.(pid) with Ready _ | Blocked _ -> true | Idle | Done | Crashed -> false
+
+let runnable t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (if is_runnable t i then i :: acc else acc) in
+  go (t.n - 1) []
+
+let finished t pid = match t.status.(pid) with Done | Crashed -> true | _ -> false
+
+let all_done t =
+  let rec go i = i >= t.n || ((not (is_runnable t i)) && go (i + 1)) in
+  go 0
+
+let account t pid (kind : Op.kind) =
+  t.clock <- t.clock + 1;
+  t.steps.(pid) <- t.steps.(pid) + 1;
+  match kind with
+  | Op.Read ->
+      if t.dirty_write.(pid) then begin
+        t.raw_fences.(pid) <- t.raw_fences.(pid) + 1;
+        t.dirty_write.(pid) <- false
+      end
+  | Op.Write -> t.dirty_write.(pid) <- true
+  | Op.Rmw ->
+      t.rmws.(pid) <- t.rmws.(pid) + 1;
+      t.dirty_write.(pid) <- false
+
+let record t pid (op : _ Op.t) =
+  if t.record_trace then
+    Vec.push t.trace
+      {
+        Mem_event.ts = t.clock;
+        pid;
+        kind = op.Op.kind;
+        obj = op.Op.obj;
+        obj_name = op.Op.obj_name;
+        info = op.Op.info;
+      }
+
+let step t pid =
+  match t.status.(pid) with
+  | Idle -> invalid_arg "Sim.step: process not spawned"
+  | Done | Crashed -> invalid_arg "Sim.step: process not runnable"
+  | Ready f ->
+      t.status.(pid) <- Done;
+      (* will be overwritten by the handler or retc *)
+      Effect.Deep.match_with f () (handler t pid)
+  | Blocked (Pending (op, k)) ->
+      t.status.(pid) <- Done;
+      account t pid op.Op.kind;
+      record t pid op;
+      let result = op.Op.run () in
+      Effect.Deep.continue k result
+
+let crash t pid =
+  match t.status.(pid) with
+  | Idle | Done | Crashed -> ()
+  | Ready _ | Blocked _ ->
+      (* The pending continuation is abandoned: the process takes no more
+         steps, exactly as a crash failure in the model. *)
+      t.status.(pid) <- Crashed
+
+type decision = Sched of pid | Stop
+
+let run t policy =
+  let rec loop () =
+    if t.clock > t.max_steps then
+      raise (Livelock (Printf.sprintf "step budget %d exhausted at clock %d" t.max_steps t.clock));
+    if not (all_done t) then begin
+      match policy t with
+      | Stop -> ()
+      | Sched pid ->
+          step t pid;
+          loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Accounting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let steps_of t pid = t.steps.(pid)
+let total_steps t = Array.fold_left ( + ) 0 t.steps
+let rmws_of t pid = t.rmws.(pid)
+let raw_fences_of t pid = t.raw_fences.(pid)
+let total_rmws t = Array.fold_left ( + ) 0 t.rmws
+let total_raw_fences t = Array.fold_left ( + ) 0 t.raw_fences
+let objects_allocated t = t.next_obj - 1
+let rmw_objects_allocated t = t.rmw_objs
+
+let reset_counters t =
+  Array.fill t.steps 0 t.n 0;
+  Array.fill t.rmws 0 t.n 0;
+  Array.fill t.raw_fences 0 t.n 0;
+  Array.fill t.dirty_write 0 t.n false
+
+let set_trace t b = t.record_trace <- b
+let trace t = Vec.to_list t.trace
+let trace_arr t = Vec.to_array t.trace

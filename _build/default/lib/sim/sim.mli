@@ -1,0 +1,131 @@
+(** Deterministic simulator for the asynchronous shared-memory model.
+
+    Each simulated process is an OCaml 5 effect-handler fiber. Every
+    shared-memory primitive operation performs an effect carrying an
+    {!Op.t}; the scheduler executes the operation atomically, accounts for
+    it (steps, RMWs, RAW fences, per-object access census) and resumes the
+    fiber until its next operation. A schedule policy chooses which process
+    moves at each turn, which gives full, reproducible control over
+    interleavings — including solo runs, crash injection, and the
+    step-/interval-contention-free execution classes the paper's progress
+    claims quantify over.
+
+    Fence accounting follows the paper's reference [7] ("Laws of Order"):
+    every RMW counts as one AWAR; a read that follows an earlier write of
+    the same process with no intervening RMW counts as one RAW fence. *)
+
+type t
+type pid = int
+
+exception Livelock of string
+(** Raised by {!run} when the global step budget is exhausted. *)
+
+exception Process_failure of pid * exn
+(** An exception escaped a process fiber. *)
+
+val create : ?max_steps:int -> n:int -> unit -> t
+(** [create ~n ()] builds a simulator for processes [0 .. n-1].
+    [max_steps] (default 1_000_000) bounds total memory steps to catch
+    livelocks under adversarial schedules. *)
+
+val n : t -> int
+val clock : t -> int
+(** Total memory steps executed so far (the global logical time). *)
+
+(** {1 Shared objects}
+
+    Objects must be created before [run]; creating them from inside a
+    running fiber is allowed (the allocation itself is a local step). *)
+
+type 'a reg
+type tas_obj
+type 'a cas_obj
+type fai_obj
+
+val reg : t -> name:string -> 'a -> 'a reg
+val read : 'a reg -> 'a
+val write : 'a reg -> 'a -> unit
+
+val tas_obj : t -> name:string -> unit -> tas_obj
+val test_and_set : tas_obj -> bool
+(** [true] iff the caller won (the object was 0 and is now 1). One step. *)
+
+val tas_read : tas_obj -> bool
+val tas_reset : tas_obj -> unit
+(** Writes 0. One (write) step. *)
+
+val cas_obj : t -> name:string -> 'a -> 'a cas_obj
+val cas_read : 'a cas_obj -> 'a
+val compare_and_swap : 'a cas_obj -> expect:'a -> update:'a -> bool
+(** Physical-equality compare, as with [Atomic.compare_and_set]. *)
+
+val fai_obj : t -> name:string -> int -> fai_obj
+val fetch_and_inc : fai_obj -> int
+val fai_read : fai_obj -> int
+
+type 'a swap_obj
+
+val swap_obj : t -> name:string -> 'a -> 'a swap_obj
+val swap : 'a swap_obj -> 'a -> 'a
+(** Atomically exchange the value (consensus number 2). One step. *)
+
+val swap_read : 'a swap_obj -> 'a
+
+val pause : t -> unit
+(** A deliberate stall: consumes one scheduler turn (modelled as a read of a
+    per-simulator dummy object) so that spinning processes cannot starve the
+    livelock fuse. *)
+
+(** {1 Processes and scheduling} *)
+
+val spawn : t -> pid -> (unit -> unit) -> unit
+(** Install the code of process [pid]. A process may be spawned at most once
+    per simulator. *)
+
+val runnable : t -> pid list
+(** Pids that can take a step now (spawned, not finished, not crashed). *)
+
+val is_runnable : t -> pid -> bool
+val finished : t -> pid -> bool
+val all_done : t -> bool
+
+val step : t -> pid -> unit
+(** Let [pid] take one scheduler turn: execute its pending memory operation
+    (if any) and run it up to its next operation or completion. The first
+    turn of a fresh process only advances it to its first operation. *)
+
+val crash : t -> pid -> unit
+(** Permanently stop [pid]; it takes no further steps. Models a crash
+    failure. *)
+
+type decision = Sched of pid | Stop
+
+val run : t -> (t -> decision) -> unit
+(** Drive the simulation with a policy until every process is done, the
+    policy answers [Stop], or the step budget trips ({!Livelock}). *)
+
+(** {1 Accounting} *)
+
+val steps_of : t -> pid -> int
+val total_steps : t -> int
+val rmws_of : t -> pid -> int
+val raw_fences_of : t -> pid -> int
+val total_rmws : t -> int
+val total_raw_fences : t -> int
+val objects_allocated : t -> int
+(** Number of base objects (registers + RMW objects) created so far: the
+    space-complexity census. *)
+
+val rmw_objects_allocated : t -> int
+(** Number of RMW-capable base objects created: consensus-power census. *)
+
+val reset_counters : t -> unit
+(** Zero step/fence/RMW counters (object census is preserved). Used to
+    measure a window of an execution, e.g. one operation of a long-lived
+    object. *)
+
+(** {1 Tracing} *)
+
+val set_trace : t -> bool -> unit
+val trace : t -> Mem_event.t list
+val trace_arr : t -> Mem_event.t array

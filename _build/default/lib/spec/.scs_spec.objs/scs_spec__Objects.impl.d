@@ -1,0 +1,1 @@
+lib/spec/objects.ml: Printf Spec

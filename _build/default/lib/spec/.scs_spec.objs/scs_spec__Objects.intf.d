@@ -1,0 +1,1 @@
+lib/spec/objects.mli: Spec

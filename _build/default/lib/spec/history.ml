@@ -1,0 +1,62 @@
+type 'i t = 'i Request.t list
+
+let ids h = List.map Request.id h
+
+let no_dups h =
+  let sorted = List.sort compare (ids h) in
+  let rec ok = function a :: (b :: _ as rest) -> a <> b && ok rest | _ -> true in
+  ok sorted
+
+let mem id h = List.exists (fun r -> Request.id r = id) h
+
+let rec is_prefix h h' =
+  match (h, h') with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: ta, b :: tb -> Request.id a = Request.id b && is_prefix ta tb
+
+let strict_prefix h h' = List.length h < List.length h' && is_prefix h h'
+
+let rec common_prefix h h' =
+  match (h, h') with
+  | a :: ta, b :: tb when Request.id a = Request.id b -> a :: common_prefix ta tb
+  | _ -> []
+
+let run (spec : _ Spec.t) h =
+  let state = ref spec.Spec.init in
+  let out =
+    List.map
+      (fun r ->
+        let q', resp = spec.Spec.apply !state (Request.payload r) in
+        state := q';
+        (r, resp))
+      h
+  in
+  (!state, out)
+
+let beta spec h =
+  match run spec h with
+  | _, [] -> None
+  | _, responses ->
+      let _, last = List.nth responses (List.length responses - 1) in
+      Some last
+
+let beta_at spec h id =
+  let _, responses = run spec h in
+  List.find_map (fun (r, resp) -> if Request.id r = id then Some resp else None) responses
+
+let final_state spec h = fst (run spec h)
+
+let equiv (spec : _ Spec.t) ~ids:wanted h1 h2 =
+  let contains_all h = List.for_all (fun id -> mem id h) wanted in
+  contains_all h1 && contains_all h2
+  && spec.Spec.equal_state (final_state spec h1) (final_state spec h2)
+  && List.for_all
+       (fun id ->
+         match (beta_at spec h1 id, beta_at spec h2 id) with
+         | Some a, Some b -> spec.Spec.equal_resp a b
+         | None, None -> true
+         | _ -> false)
+       wanted
+
+let show show_payload h = "[" ^ String.concat "; " (List.map (Request.show show_payload) h) ^ "]"

@@ -1,0 +1,45 @@
+(** Histories: duplicate-free sequences of requests, and the paper's [β]
+    evaluation functions.
+
+    [β h] is the last response obtained by applying [h] sequentially to the
+    object from its start state; [β (h, m)] is the response matching request
+    [m] within [h] (Section 5.1). *)
+
+type 'i t = 'i Request.t list
+
+val no_dups : 'i t -> bool
+(** No request id appears twice. *)
+
+val mem : int -> 'i t -> bool
+(** Does the request with this id appear? *)
+
+val ids : 'i t -> int list
+
+val is_prefix : 'i t -> 'i t -> bool
+(** [is_prefix h h'] — comparison is by request ids. *)
+
+val strict_prefix : 'i t -> 'i t -> bool
+
+val common_prefix : 'i t -> 'i t -> 'i t
+(** Longest common prefix (by request ids). *)
+
+val run : ('q, 'i, 'r) Spec.t -> 'i t -> 'q * ('i Request.t * 'r) list
+(** Apply the whole history; return final state and per-request responses. *)
+
+val beta : ('q, 'i, 'r) Spec.t -> 'i t -> 'r option
+(** Response of the last request; [None] on the empty history. *)
+
+val beta_at : ('q, 'i, 'r) Spec.t -> 'i t -> int -> 'r option
+(** [beta_at spec h id] — response matching the request with id [id]. *)
+
+val final_state : ('q, 'i, 'r) Spec.t -> 'i t -> 'q
+
+val equiv : ('q, 'i, 'r) Spec.t -> ids:int list -> 'i t -> 'i t -> bool
+(** The equivalence [≡I] of Section 5.1 for the id set [ids]:
+    (i) both histories contain every id of [ids];
+    (ii) the histories are indistinguishable under all extensions — decided
+    here by final-state equality, which is exact for the canonical state
+    spaces used in this repository;
+    (iii) matching responses agree for every id of [ids]. *)
+
+val show : ('i -> string) -> 'i t -> string

@@ -1,0 +1,71 @@
+type tas_req = Test_and_set
+type tas_resp = Winner | Loser
+
+let tas =
+  Spec.make ~name:"test-and-set" ~init:false
+    ~apply:(fun set Test_and_set -> if set then (true, Loser) else (true, Winner))
+    ~show_req:(fun Test_and_set -> "tas")
+    ~show_resp:(function Winner -> "winner" | Loser -> "loser")
+    ()
+
+type rtas_req = R_test_and_set | R_reset
+type rtas_resp = R_winner | R_loser | R_ok
+
+let resettable_tas =
+  Spec.make ~name:"resettable-test-and-set" ~init:false
+    ~apply:(fun set req ->
+      match req with
+      | R_test_and_set -> if set then (true, R_loser) else (true, R_winner)
+      | R_reset -> (false, R_ok))
+    ~show_req:(function R_test_and_set -> "tas" | R_reset -> "reset")
+    ~show_resp:(function R_winner -> "winner" | R_loser -> "loser" | R_ok -> "ok")
+    ()
+
+type reg_req = Reg_read | Reg_write of int
+type reg_resp = Reg_value of int | Reg_ok
+
+let register =
+  Spec.make ~name:"register" ~init:0
+    ~apply:(fun v req ->
+      match req with Reg_read -> (v, Reg_value v) | Reg_write x -> (x, Reg_ok))
+    ~show_req:(function Reg_read -> "read" | Reg_write x -> Printf.sprintf "write %d" x)
+    ~show_resp:(function Reg_value v -> Printf.sprintf "=%d" v | Reg_ok -> "ok")
+    ()
+
+type fai_req = Fai_inc | Fai_read
+type fai_resp = Fai_value of int
+
+let fetch_and_increment =
+  Spec.make ~name:"fetch-and-increment" ~init:0
+    ~apply:(fun v req ->
+      match req with Fai_inc -> (v + 1, Fai_value v) | Fai_read -> (v, Fai_value v))
+    ~show_req:(function Fai_inc -> "f&i" | Fai_read -> "read")
+    ~show_resp:(function Fai_value v -> Printf.sprintf "=%d" v)
+    ()
+
+type queue_req = Enqueue of int | Dequeue
+type queue_resp = Q_ok | Q_dequeued of int option
+
+let queue =
+  Spec.make ~name:"fifo-queue" ~init:[]
+    ~apply:(fun q req ->
+      match req with
+      | Enqueue x -> (q @ [ x ], Q_ok)
+      | Dequeue -> ( match q with [] -> ([], Q_dequeued None) | x :: rest -> (rest, Q_dequeued (Some x))))
+    ~show_req:(function Enqueue x -> Printf.sprintf "enq %d" x | Dequeue -> "deq")
+    ~show_resp:(function
+      | Q_ok -> "ok"
+      | Q_dequeued None -> "empty"
+      | Q_dequeued (Some x) -> Printf.sprintf "deq=%d" x)
+    ()
+
+type cons_req = Propose of int
+type cons_resp = Decided of int
+
+let consensus =
+  Spec.make ~name:"consensus" ~init:None
+    ~apply:(fun st (Propose v) ->
+      match st with None -> (Some v, Decided v) | Some d -> (Some d, Decided d))
+    ~show_req:(function Propose v -> Printf.sprintf "propose %d" v)
+    ~show_resp:(function Decided v -> Printf.sprintf "decided %d" v)
+    ()

@@ -1,0 +1,46 @@
+(** Sequential specifications of the concrete objects used in the paper and
+    in the experiment harness. *)
+
+(** {1 One-shot test-and-set} (Section 3: initial state 0; the unique
+    process returning 0 is the winner) *)
+
+type tas_req = Test_and_set
+type tas_resp = Winner | Loser
+
+val tas : (bool, tas_req, tas_resp) Spec.t
+
+(** {1 Long-lived (resettable) test-and-set} (Section 6.3; well-formed: only
+    the current winner resets) *)
+
+type rtas_req = R_test_and_set | R_reset
+type rtas_resp = R_winner | R_loser | R_ok
+
+val resettable_tas : (bool, rtas_req, rtas_resp) Spec.t
+
+(** {1 Read/write register} *)
+
+type reg_req = Reg_read | Reg_write of int
+type reg_resp = Reg_value of int | Reg_ok
+
+val register : (int, reg_req, reg_resp) Spec.t
+
+(** {1 Fetch-and-increment} (the paper's future-work object) *)
+
+type fai_req = Fai_inc | Fai_read
+type fai_resp = Fai_value of int
+
+val fetch_and_increment : (int, fai_req, fai_resp) Spec.t
+
+(** {1 FIFO queue} (the paper's future-work object) *)
+
+type queue_req = Enqueue of int | Dequeue
+type queue_resp = Q_ok | Q_dequeued of int option
+
+val queue : (int list, queue_req, queue_resp) Spec.t
+
+(** {1 Binary consensus as a sequential object} *)
+
+type cons_req = Propose of int
+type cons_resp = Decided of int
+
+val consensus : (int option, cons_req, cons_resp) Spec.t

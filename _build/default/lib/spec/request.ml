@@ -1,0 +1,17 @@
+type 'i t = { id : int; payload : 'i }
+
+let make id payload = { id; payload }
+let id r = r.id
+let payload r = r.payload
+let show show_payload r = Printf.sprintf "#%d:%s" r.id (show_payload r.payload)
+
+module Gen = struct
+  type nonrec t = { mutable next : int }
+
+  let create () = { next = 0 }
+
+  let fresh g payload =
+    let id = g.next in
+    g.next <- id + 1;
+    { id; payload }
+end

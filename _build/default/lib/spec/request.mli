@@ -1,0 +1,21 @@
+(** Uniquely identified requests.
+
+    The paper assumes every request has a unique identifier (histories are
+    duplicate-free sequences of requests); we make the identifier explicit
+    and carry the payload alongside. *)
+
+type 'i t = { id : int; payload : 'i }
+
+val make : int -> 'i -> 'i t
+val id : 'i t -> int
+val payload : 'i t -> 'i
+val show : ('i -> string) -> 'i t -> string
+
+(** A monotonic id supply for building workloads. *)
+module Gen : sig
+  type 'i req := 'i t
+  type t
+
+  val create : unit -> t
+  val fresh : t -> 'i -> 'i req
+end

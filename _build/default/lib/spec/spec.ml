@@ -1,0 +1,13 @@
+type ('q, 'i, 'r) t = {
+  name : string;
+  init : 'q;
+  apply : 'q -> 'i -> 'q * 'r;
+  equal_state : 'q -> 'q -> bool;
+  equal_resp : 'r -> 'r -> bool;
+  show_req : 'i -> string;
+  show_resp : 'r -> string;
+}
+
+let make ~name ~init ~apply ?(equal_state = ( = )) ?(equal_resp = ( = ))
+    ?(show_req = fun _ -> "_") ?(show_resp = fun _ -> "_") () =
+  { name; init; apply; equal_state; equal_resp; show_req; show_resp }

@@ -1,0 +1,30 @@
+(** Sequential object types.
+
+    The paper defines an object as a quadruple [(Q, s, I, R, Δ)] — states,
+    start state, requests, responses and a sequential specification
+    [Δ ⊆ Q × I × Q × R]. We represent the (deterministic) specification as
+    an [apply] function together with equality and printing support, which
+    is what the history machinery, the linearizability checker and the
+    universal construction consume. *)
+
+type ('q, 'i, 'r) t = {
+  name : string;
+  init : 'q;
+  apply : 'q -> 'i -> 'q * 'r;
+  equal_state : 'q -> 'q -> bool;
+  equal_resp : 'r -> 'r -> bool;
+  show_req : 'i -> string;
+  show_resp : 'r -> string;
+}
+
+val make :
+  name:string ->
+  init:'q ->
+  apply:('q -> 'i -> 'q * 'r) ->
+  ?equal_state:('q -> 'q -> bool) ->
+  ?equal_resp:('r -> 'r -> bool) ->
+  ?show_req:('i -> string) ->
+  ?show_resp:('r -> string) ->
+  unit ->
+  ('q, 'i, 'r) t
+(** Equalities default to structural equality; printers default to ["_"]. *)

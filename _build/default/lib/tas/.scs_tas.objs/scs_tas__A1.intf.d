@@ -1,0 +1,1 @@
+lib/tas/a1.mli: Objects Outcome Scs_composable Scs_prims Scs_spec Tas_switch

@@ -1,0 +1,1 @@
+lib/tas/a2.ml: Objects Outcome Scs_composable Scs_prims Scs_spec Tas_switch

@@ -1,0 +1,1 @@
+lib/tas/baselines.ml: Array Objects Printf Scs_consensus Scs_prims Scs_spec

@@ -1,0 +1,1 @@
+lib/tas/baselines.mli: Objects Scs_prims Scs_spec Scs_util

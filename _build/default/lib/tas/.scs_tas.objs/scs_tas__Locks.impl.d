@@ -1,0 +1,1 @@
+lib/tas/locks.ml: Long_lived Objects Scs_prims Scs_spec

@@ -1,0 +1,1 @@
+lib/tas/locks.mli: Long_lived Scs_prims

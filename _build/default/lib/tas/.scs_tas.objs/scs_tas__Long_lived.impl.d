@@ -1,0 +1,1 @@
+lib/tas/long_lived.ml: Array Objects One_shot Printf Scs_prims Scs_spec

@@ -1,0 +1,1 @@
+lib/tas/long_lived.mli: Objects One_shot Scs_prims Scs_spec

@@ -1,0 +1,1 @@
+lib/tas/one_shot.ml: A1 A2 Outcome Scs_composable Scs_prims

@@ -1,0 +1,1 @@
+lib/tas/one_shot.mli: A1 A2 Objects Outcome Scs_composable Scs_prims Scs_spec Tas_switch

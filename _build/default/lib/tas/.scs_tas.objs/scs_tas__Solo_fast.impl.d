@@ -1,0 +1,1 @@
+lib/tas/solo_fast.ml: A2 Objects One_shot Outcome Scs_composable Scs_prims Scs_spec Tas_switch

@@ -1,0 +1,1 @@
+lib/tas/solo_fast.mli: Objects One_shot Outcome Scs_composable Scs_prims Scs_spec Tas_switch

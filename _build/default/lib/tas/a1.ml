@@ -1,0 +1,82 @@
+open Scs_spec
+open Scs_composable
+
+module Make (P : Scs_prims.Prims_intf.S) = struct
+  type t = {
+    p : int option P.reg;
+    s : int option P.reg;
+    aborted : bool P.reg;
+    v : bool P.reg;  (** the object's value: [true] once won *)
+    strict : bool;
+  }
+
+  let create ?(strict = false) ~name () =
+    {
+      p = P.reg ~name:(name ^ ".P") None;
+      s = P.reg ~name:(name ^ ".S") None;
+      aborted = P.reg ~name:(name ^ ".aborted") false;
+      v = P.reg ~name:(name ^ ".V") false;
+      strict;
+    }
+
+  (* In strict mode a process may not declare itself loser merely because
+     a racer's write is visible (see the .mli): it runs the interference
+     protocol of lines 19–23 instead — raise [aborted], then re-read [V].
+     Raising the flag first is what excludes a concurrent fast-path win:
+     the fast path re-reads [aborted] after setting [V] (line 15), so
+     either it sees our flag and defers to the hardware module with us, or
+     we see its [V = 1] and lose to it legitimately. *)
+  let lose_or_defer t =
+    if t.strict then begin
+      P.write t.aborted true;
+      if P.read t.v then Outcome.Commit Objects.Loser else Outcome.Abort Tas_switch.W
+    end
+    else Outcome.Commit Objects.Loser
+
+  (* Algorithm 1, line for line. *)
+  let apply t ~pid init =
+    if P.read t.aborted then begin
+      (* lines 4–6 *)
+      if not (P.read t.v) then Outcome.Abort Tas_switch.W else Outcome.Abort Tas_switch.L
+    end
+    else if P.read t.v || init = Some Tas_switch.L then
+      (* lines 7–8 *)
+      Outcome.Commit Objects.Loser
+    else if P.read t.p <> None then
+      (* line 9 *)
+      lose_or_defer t
+    else begin
+      P.write t.p (Some pid);
+      (* line 10 *)
+      if P.read t.s <> None then
+        (* line 11 *)
+        lose_or_defer t
+      else begin
+        P.write t.s (Some pid);
+        (* line 12 *)
+        if P.read t.p = Some pid then begin
+          (* lines 13–17 *)
+          P.write t.v true;
+          if not (P.read t.aborted) then Outcome.Commit Objects.Winner
+          else Outcome.Abort Tas_switch.W
+        end
+        else begin
+          (* lines 18–23: interval contention detected *)
+          P.write t.aborted true;
+          if P.read t.v then Outcome.Commit Objects.Loser else Outcome.Abort Tas_switch.W
+        end
+      end
+    end
+
+  let as_module t =
+    {
+      Outcome.m_name = "A1";
+      m_apply = (fun ~pid ?init Objects.Test_and_set -> apply t ~pid init);
+    }
+
+  let harness_reset t =
+    P.write t.p None;
+    P.write t.s None;
+    P.write t.aborted false;
+    P.write t.v false
+end

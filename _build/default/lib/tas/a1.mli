@@ -1,0 +1,57 @@
+(** Module [A1]: the obstruction-free test-and-set module (Algorithm 1).
+
+    Four registers ([P], [S], [aborted], [V]); constant step and space
+    complexity. Each operation either reaches a winner/loser decision, or
+    detects contention and aborts with a switch value: [W] if the object
+    has not visibly been won, [L] if the caller has definitely lost. The
+    module never aborts in executions without step contention (Lemma 6),
+    and is a safely composable TAS implementation w.r.t. the constraint
+    function of Definition 3 (Lemma 4).
+
+    {b Reproduction finding (strict mode).} As published, the composed
+    algorithm [A1 ∘ A2] is {e not} linearizable in the strict
+    Herlihy–Wing sense once n ≥ 4: two racers can abort with [W], a third
+    process then commits loser off [P ≠ ⊥] (line 9) while [V = 0], and a
+    {e later} process — invoked after that loser's response — aborts [W]
+    through lines 4–6 and wins the hardware object in [A2]. The trace
+    still admits a valid interpretation under Definition 2 (the paper's
+    correctness notion, which reads the Validity property globally), but
+    the loser's response precedes every candidate winner's invocation.
+    This also falsifies Invariant 4 of the Lemma 4 proof for n ≥ 4.
+
+    [create ~strict:true] restores strict linearizability by routing the
+    loser commits of lines 9 and 11 through the interference protocol of
+    lines 19–23 (raise [aborted], re-read [V]): a loser is then only ever
+    declared after observing [V = 1] — so the fast-path candidate that set
+    [V] was invoked before the loss — or inside the linearizable hardware
+    module. Every process that reaches the hardware module carries [W] and
+    read [V = 0] before any such loser committed, so the eventual winner
+    is always invoked before every loser's response. Solo step complexity
+    and safe composability are unchanged; the price is more hardware
+    traffic, and fast-path progress weakens from step-contention-freedom
+    to interval-contention-freedom (a stalled racer's leftover write can
+    force deferral). *)
+
+open Scs_spec
+open Scs_composable
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  type t
+
+  val create : ?strict:bool -> name:string -> unit -> t
+  (** [strict] defaults to [false] (the paper's algorithm, verbatim). *)
+
+  val apply :
+    t -> pid:int -> Tas_switch.t option -> (Objects.tas_resp, Tas_switch.t) Outcome.t
+  (** One test-and-set attempt by process [pid]. The optional switch value
+      is the initialisation inherited from a previous module ([Some L]
+      short-circuits to loser, line 7). *)
+
+  val as_module : t -> (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Outcome.m
+
+  val harness_reset : t -> unit
+  (** Reinitialise all four registers. {b Not} part of the algorithm —
+      only sound while no operation is in flight; used by the wall-clock
+      harness to measure steady-state round cost without preallocating
+      rounds. *)
+end

@@ -1,0 +1,21 @@
+open Scs_spec
+open Scs_composable
+
+module Make (P : Scs_prims.Prims_intf.S) = struct
+  type t = { t : P.tas_obj }
+
+  let create ~name () = { t = P.tas_obj ~name:(name ^ ".T") () }
+
+  let apply t ~pid:_ init =
+    if init = Some Tas_switch.L then Outcome.Commit Objects.Loser
+    else if P.test_and_set t.t then Outcome.Commit Objects.Winner
+    else Outcome.Commit Objects.Loser
+
+  let as_module t =
+    {
+      Outcome.m_name = "A2";
+      m_apply = (fun ~pid ?init Objects.Test_and_set -> apply t ~pid init);
+    }
+
+  let harness_reset t = P.tas_reset t.t
+end

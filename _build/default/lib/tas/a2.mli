@@ -1,0 +1,24 @@
+(** Module [A2]: the wait-free test-and-set module (Algorithm 2, lines
+    16–19), essentially a hardware test-and-set.
+
+    A participant entering with switch value [L] returns loser without
+    touching the hardware object; every other participant plays the
+    hardware TAS and commits the result. Never aborts; safely composable
+    w.r.t. Definition 3 (Lemma 5). *)
+
+open Scs_spec
+open Scs_composable
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  type t
+
+  val create : name:string -> unit -> t
+
+  val apply :
+    t -> pid:int -> Tas_switch.t option -> (Objects.tas_resp, Tas_switch.t) Outcome.t
+
+  val as_module : t -> (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Outcome.m
+
+  val harness_reset : t -> unit
+  (** Reset the hardware object (harness use only). *)
+end

@@ -1,0 +1,61 @@
+open Scs_spec
+
+module Make (P : Scs_prims.Prims_intf.S) = struct
+  module Ttas = struct
+    type t = { t : P.tas_obj }
+
+    let create ~name () = { t = P.tas_obj ~name:(name ^ ".lock") () }
+
+    let try_acquire t = (not (P.tas_read t.t)) && P.test_and_set t.t
+
+    let acquire t =
+      let rec spin () =
+        if P.tas_read t.t then begin
+          P.pause ();
+          spin ()
+        end
+        else if P.test_and_set t.t then ()
+        else spin ()
+      in
+      spin ()
+
+    let release t = P.tas_reset t.t
+  end
+
+  module Speculative = struct
+    module Ll = Long_lived.Make (P)
+
+    type t = { ll : Ll.t }
+    type handle = { h : Ll.handle }
+
+    let create ~name ~rounds () = { ll = Ll.create ~name ~rounds () }
+    let handle t ~pid = { h = Ll.handle t.ll ~pid }
+
+    let try_acquire h = Ll.test_and_set h.h = Objects.Winner
+
+    let acquire h =
+      let rec try_round () =
+        let resp, _, played = Ll.test_and_set_info h.h in
+        if resp = Objects.Winner then ()
+        else begin
+          (* lost round [played]: wait until its holder's reset advances
+             Count past it. Waiting on the round we actually played (not
+             on a fresh Count read) matters: the holder may have released
+             already, in which case we must retry immediately. *)
+          let rec wait () =
+            if Ll.read_round h.h = played then begin
+              P.pause ();
+              wait ()
+            end
+          in
+          wait ();
+          try_round ()
+        end
+      in
+      try_round ()
+
+    let release h = Ll.reset h.h
+
+    let ll t = t.ll
+  end
+end

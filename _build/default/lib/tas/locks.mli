@@ -1,0 +1,45 @@
+(** Locks built on test-and-set objects.
+
+    {!Make.Speculative} is the biased lock the paper's introduction
+    motivates (Dice–Moir–Scherer [9], Vasudevan et al. [19]): acquire =
+    win the long-lived speculative TAS, release = reset it. A single
+    uncontended owner acquires and releases touching only registers; the
+    hardware object is paid for only under step contention. The reference
+    {!Make.Ttas} (test-and-test-and-set) lock pays an AWAR on every
+    uncontended acquire. *)
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  module Ttas : sig
+    type t
+
+    val create : name:string -> unit -> t
+
+    val acquire : t -> unit
+    (** Spins; on the simulator backend each retry consumes a scheduler
+        turn via [P.pause]. *)
+
+    val try_acquire : t -> bool
+    val release : t -> unit
+  end
+
+  module Speculative : sig
+    module Ll : module type of Long_lived.Make (P)
+
+    type t
+    type handle
+
+    val create : name:string -> rounds:int -> unit -> t
+    val handle : t -> pid:int -> handle
+
+    val try_acquire : handle -> bool
+    (** One TAS attempt on the current round; [false] means another
+        process holds or just won the lock. *)
+
+    val acquire : handle -> unit
+    (** Retries rounds, pausing while the current round is decided. *)
+
+    val release : handle -> unit
+
+    val ll : t -> Ll.t
+  end
+end

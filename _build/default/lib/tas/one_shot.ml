@@ -1,0 +1,36 @@
+open Scs_composable
+
+type stage = Fast | Fallback
+
+module Make (P : Scs_prims.Prims_intf.S) = struct
+  module A1m = A1.Make (P)
+  module A2m = A2.Make (P)
+
+  type t = { a1 : A1m.t; a2 : A2m.t }
+
+  let create ?strict ~name () =
+    { a1 = A1m.create ?strict ~name:(name ^ ".A1") (); a2 = A2m.create ~name:(name ^ ".A2") () }
+
+  let a1 t = t.a1
+  let a2 t = t.a2
+
+  let apply_staged t ~pid init =
+    match A1m.apply t.a1 ~pid init with
+    | Outcome.Commit r -> (Outcome.Commit r, Fast)
+    | Outcome.Abort v -> (A2m.apply t.a2 ~pid (Some v), Fallback)
+
+  let test_and_set_staged t ~pid =
+    match apply_staged t ~pid None with
+    | Outcome.Commit r, stage -> (r, stage)
+    | Outcome.Abort _, _ ->
+        (* A2 never aborts *)
+        assert false
+
+  let test_and_set t ~pid = fst (test_and_set_staged t ~pid)
+
+  let as_module t = Outcome.compose (A1m.as_module t.a1) (A2m.as_module t.a2)
+
+  let harness_reset t =
+    A1m.harness_reset t.a1;
+    A2m.harness_reset t.a2
+end

@@ -1,0 +1,46 @@
+(** The one-shot composed test-and-set: [A1 ∘ A2] (Figure 1, forward path).
+
+    A request first runs the register-only obstruction-free module; on
+    abort, the switch value initialises the wait-free hardware module. The
+    composition is a wait-free linearizable one-shot TAS (Lemma 7) that
+    touches only registers in the absence of step contention.
+
+    [stage] reports which module resolved the request, for the speculation
+    benchmarks (F1). *)
+
+open Scs_spec
+open Scs_composable
+
+type stage = Fast | Fallback
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  module A1m : module type of A1.Make (P)
+  module A2m : module type of A2.Make (P)
+
+  type t
+
+  val create : ?strict:bool -> name:string -> unit -> t
+  (** [strict] selects the strictly linearizable [A1] variant (see
+      {!A1}); default is the paper's algorithm. *)
+
+  val a1 : t -> A1m.t
+  val a2 : t -> A2m.t
+
+  val test_and_set : t -> pid:int -> Objects.tas_resp
+  (** The full composition; never aborts. *)
+
+  val test_and_set_staged : t -> pid:int -> Objects.tas_resp * stage
+
+  val apply_staged :
+    t ->
+    pid:int ->
+    Tas_switch.t option ->
+    (Objects.tas_resp, Tas_switch.t) Outcome.t * stage
+  (** Like [test_and_set_staged] but entering the composition with an
+      inherited switch value, for chaining compositions. *)
+
+  val as_module : t -> (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Outcome.m
+
+  val harness_reset : t -> unit
+  (** Reinitialise both modules (harness use only, quiescent state). *)
+end

@@ -1,0 +1,56 @@
+open Scs_spec
+open Scs_composable
+
+module Make (P : Scs_prims.Prims_intf.S) = struct
+  module A2m = A2.Make (P)
+
+  type t = {
+    p : int option P.reg;
+    s : int option P.reg;
+    aborted : bool P.reg;
+    v : bool P.reg;
+    a2 : A2m.t;
+  }
+
+  let create ~name () =
+    {
+      p = P.reg ~name:(name ^ ".P") None;
+      s = P.reg ~name:(name ^ ".S") None;
+      aborted = P.reg ~name:(name ^ ".aborted") false;
+      v = P.reg ~name:(name ^ ".V") false;
+      a2 = A2m.create ~name:(name ^ ".A2") ();
+    }
+
+  (* Algorithm 1 without lines 4–6: no solidarity aborts. *)
+  let apply_fast t ~pid init =
+    if P.read t.v || init = Some Tas_switch.L then Outcome.Commit Objects.Loser
+    else if P.read t.p <> None then Outcome.Commit Objects.Loser
+    else begin
+      P.write t.p (Some pid);
+      if P.read t.s <> None then Outcome.Commit Objects.Loser
+      else begin
+        P.write t.s (Some pid);
+        if P.read t.p = Some pid then begin
+          P.write t.v true;
+          if not (P.read t.aborted) then Outcome.Commit Objects.Winner
+          else Outcome.Abort Tas_switch.W
+        end
+        else begin
+          P.write t.aborted true;
+          if P.read t.v then Outcome.Commit Objects.Loser else Outcome.Abort Tas_switch.W
+        end
+      end
+    end
+
+  let apply_fallback t ~pid init = A2m.apply t.a2 ~pid init
+
+  let test_and_set_staged t ~pid =
+    match apply_fast t ~pid None with
+    | Outcome.Commit r -> (r, One_shot.Fast)
+    | Outcome.Abort v -> (
+        match apply_fallback t ~pid (Some v) with
+        | Outcome.Commit r -> (r, One_shot.Fallback)
+        | Outcome.Abort _ -> assert false)
+
+  let test_and_set t ~pid = fst (test_and_set_staged t ~pid)
+end

@@ -1,0 +1,32 @@
+(** The solo-fast test-and-set variant (Appendix B).
+
+    Obtained from [A1] by removing the entry check of the [aborted]
+    register (lines 4–6): a process no longer aborts merely because
+    {e another} process experienced step contention; it reverts to the
+    hardware object only when {e itself} encountering step contention.
+    The composed algorithm [A1' ∘ A2] is the first solo-fast TAS with
+    constant step complexity for uncontended operations. Only switch value
+    [W] can arise. *)
+
+open Scs_spec
+open Scs_composable
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  type t
+
+  val create : name:string -> unit -> t
+
+  val apply_fast :
+    t -> pid:int -> Tas_switch.t option -> (Objects.tas_resp, Tas_switch.t) Outcome.t
+  (** The modified [A1'] alone. *)
+
+  val apply_fallback :
+    t -> pid:int -> Tas_switch.t option -> (Objects.tas_resp, Tas_switch.t) Outcome.t
+  (** The embedded [A2] instance (for runners that record per-module
+      traces). *)
+
+  val test_and_set_staged : t -> pid:int -> Objects.tas_resp * One_shot.stage
+  (** The full composition [A1' ∘ A2]. *)
+
+  val test_and_set : t -> pid:int -> Objects.tas_resp
+end

@@ -1,0 +1,1 @@
+lib/universal/snapshot.ml: Array Printf Scs_prims

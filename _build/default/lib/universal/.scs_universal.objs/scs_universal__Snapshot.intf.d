@@ -1,0 +1,1 @@
+lib/universal/snapshot.mli: Scs_prims

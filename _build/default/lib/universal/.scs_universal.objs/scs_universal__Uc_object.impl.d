@@ -1,0 +1,1 @@
+lib/universal/uc_object.ml: Array History List Printf Request Scs_prims Scs_spec Spec Universal

@@ -1,0 +1,1 @@
+lib/universal/uc_object.mli: History Request Scs_consensus Scs_prims Scs_spec Spec Universal

@@ -1,0 +1,1 @@
+lib/universal/universal.ml: Array Consensus_intf History List Outcome Printf Request Scs_composable Scs_consensus Scs_prims Scs_spec Snapshot

@@ -1,0 +1,1 @@
+lib/universal/universal.mli: History Request Scs_consensus Scs_prims Scs_spec

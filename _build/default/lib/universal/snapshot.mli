@@ -1,0 +1,19 @@
+(** Wait-free atomic snapshot from single-writer registers, after Afek,
+    Attiya, Dolev, Gafni, Merritt and Shavit (JACM 1993).
+
+    The universal construction's [Reqs] object (Section 4.2) is a snapshot
+    the paper assumes as given; this is the canonical register-only
+    construction. [update] embeds the updater's own scan, so a scanner that
+    sees the same component move twice can borrow that embedded view;
+    otherwise a clean double collect is itself a valid snapshot. Both scan
+    and update are wait-free with O(n²) reads worst case. *)
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  type 'a t
+
+  val create : name:string -> n:int -> init:'a -> 'a t
+  (** Component [i] is writable only by pid [i]; all start as [init]. *)
+
+  val update : 'a t -> pid:int -> 'a -> unit
+  val scan : 'a t -> pid:int -> 'a array
+end

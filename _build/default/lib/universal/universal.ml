@@ -1,0 +1,158 @@
+open Scs_spec
+open Scs_composable
+open Scs_consensus
+
+type 'i abstract_outcome =
+  | Committed of 'i History.t
+  | Aborted_with of 'i History.t
+
+module Make (P : Scs_prims.Prims_intf.S) = struct
+  module Snap = Snapshot.Make (P)
+
+  type 'i t = {
+    n : int;
+    max_requests : int;
+    cons : 'i Request.t Consensus_intf.t array;
+    aborted : bool P.reg;
+    reqs : 'i Request.t list Snap.t;
+    c : int P.reg array;  (** C_i: slots process i has seen decided *)
+  }
+
+  type 'i handle = {
+    t : 'i t;
+    pid : int;
+    init_hist : 'i Request.t array;
+    mutable lperf : 'i Request.t list;  (** reversed local log (deduplicated) *)
+    mutable next_slot : int;  (** slots processed; ≥ |lperf| (duplicates collapse) *)
+    mutable announced : 'i Request.t list;  (** newest first *)
+    mutable dead : 'i History.t option;  (** abort history once aborted *)
+  }
+
+  let create ~name ~n ~max_requests ~make_cons () =
+    {
+      n;
+      max_requests;
+      cons = Array.init max_requests (fun slot -> make_cons ~slot);
+      aborted = P.reg ~name:(name ^ ".Aborted") false;
+      reqs = Snap.create ~name:(name ^ ".Reqs") ~n ~init:[];
+      c = Array.init n (fun i -> P.reg ~name:(Printf.sprintf "%s.C[%d]" name i) 0);
+    }
+
+  let handle t ~pid ~init =
+    {
+      t;
+      pid;
+      init_hist = Array.of_list init;
+      lperf = [];
+      next_slot = 0;
+      announced = [];
+      dead = None;
+    }
+
+  let performed h = List.rev h.lperf
+
+  let performed_mem h req =
+    let id = Request.id req in
+    List.exists (fun r -> Request.id r = id) h.lperf
+
+  let append_decided h req =
+    if not (performed_mem h req) then h.lperf <- req :: h.lperf
+
+  (* The paper's counter read at recovery: the number of slots known
+     decided by anyone who might have returned a commit. *)
+  let read_count h = Array.fold_left (fun acc r -> max acc (P.read r)) 0 h.t.c
+
+  (* Recovery (Section 4.2): set the flag, read the count, rebuild the
+     decided prefix by probing every slot below it. *)
+  let recover_and_abort h own_req =
+    P.write h.t.aborted true;
+    let count = read_count h in
+    let hist = ref [] in
+    for k = count - 1 downto 0 do
+      match Consensus_intf.probe h.t.cons.(k) ~pid:h.pid with
+      | Some req -> hist := req :: !hist
+      | None -> ()
+    done;
+    (* deduplicate positionally, keeping first occurrences *)
+    let dedup =
+      List.fold_left
+        (fun acc r -> if List.exists (fun q -> Request.id q = Request.id r) acc then acc else r :: acc)
+        [] !hist
+      |> List.rev
+    in
+    let final =
+      if List.exists (fun q -> Request.id q = Request.id own_req) dedup then dedup
+      else dedup @ [ own_req ]
+    in
+    h.dead <- Some final;
+    Aborted_with final
+
+  (* Helping choice for slot [k]: prefer the round-robin process's oldest
+     pending announcement, then our own request, then any pending
+     announcement. *)
+  let choose_proposal h ~slot own_req =
+    let views = Snap.scan h.t.reqs ~pid:h.pid in
+    let pending_of j =
+      List.filter (fun r -> not (performed_mem h r)) (List.rev views.(j))
+    in
+    let preferred = pending_of (slot mod h.t.n) in
+    match preferred with
+    | r :: _ -> r
+    | [] ->
+        if not (performed_mem h own_req) then own_req
+        else begin
+          let rec first_pending j =
+            if j >= h.t.n then own_req
+            else begin
+              match pending_of j with r :: _ -> r | [] -> first_pending (j + 1)
+            end
+          in
+          first_pending 0
+        end
+
+  (* Commit discipline: the count was published when the deciding slot was
+     processed; re-read the flag last, so an aborter that set it is
+     guaranteed (flag principle) to see our count when it recovers. *)
+  let finish_commit h req =
+    if P.read h.t.aborted then recover_and_abort h req else Committed (performed h)
+
+  let invoke h req =
+    match h.dead with
+    | Some hist -> Aborted_with hist
+    | None ->
+        (* announce *)
+        h.announced <- req :: h.announced;
+        Snap.update h.t.reqs ~pid:h.pid h.announced;
+        let rec loop () =
+          if performed_mem h req then
+            (* decided during init replay or an earlier helping pass *)
+            finish_commit h req
+          else if P.read h.t.aborted then recover_and_abort h req
+          else begin
+            let k = h.next_slot in
+            if k >= h.t.max_requests then
+              failwith "Universal.invoke: slot capacity exceeded"
+            else begin
+              let old =
+                if k < Array.length h.init_hist && not (performed_mem h h.init_hist.(k)) then
+                  Some h.init_hist.(k)
+                else None
+              in
+              let proposal = choose_proposal h ~slot:k req in
+              match h.t.cons.(k).Consensus_intf.run ~pid:h.pid ~old proposal with
+              | Outcome.Abort _ -> recover_and_abort h req
+              | Outcome.Commit None ->
+                  (* Unreachable: the wrapper's second phase proposes a
+                     real value and the stages never adopt ⊥. Failing loud
+                     beats looping on the slot. *)
+                  failwith "Universal.invoke: consensus slot decided ⊥"
+              | Outcome.Commit (Some decided) ->
+                  h.next_slot <- k + 1;
+                  append_decided h decided;
+                  P.write h.t.c.(h.pid) h.next_slot;
+                  if Request.id decided = Request.id req then finish_commit h req else loop ()
+            end
+          end
+        in
+        loop ()
+end

@@ -1,0 +1,1 @@
+lib/workload/cons_run.ml: Abortable_bakery Cas_consensus Chain Consensus_intf List Outcome Policy Rng Scs_composable Scs_consensus Scs_prims Scs_sim Scs_util Sim Split_consensus

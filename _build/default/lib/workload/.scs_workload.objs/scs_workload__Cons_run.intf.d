@@ -1,0 +1,1 @@
+lib/workload/cons_run.mli: Outcome Policy Scs_composable Scs_sim Scs_util Sim

@@ -1,0 +1,1 @@
+lib/workload/tas_run.ml: Array Detect Hashtbl List Mem_event Objects Option Outcome Policy Request Rng Scs_composable Scs_history Scs_prims Scs_sim Scs_spec Scs_tas Scs_util Sim Tas_switch Trace

@@ -1,0 +1,1 @@
+lib/workload/tas_run.mli: Hashtbl Mem_event Objects Policy Scs_composable Scs_history Scs_sim Scs_spec Scs_tas Scs_util Sim Tas_switch Trace

@@ -1,0 +1,1 @@
+lib/workload/uc_run.mli: Abstract_check History Policy Request Scs_history Scs_sim Scs_spec Scs_util Sim Spec Trace

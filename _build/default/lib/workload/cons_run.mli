@@ -1,0 +1,40 @@
+(** Simulated abortable-consensus workloads (experiments T3/T4). *)
+
+open Scs_composable
+open Scs_sim
+
+type algo =
+  | Split  (** SplitConsensus: O(1) solo, commits absent interval contention *)
+  | Bakery  (** AbortableBakery: O(n) solo, commits absent step contention *)
+  | Cas  (** wait-free CAS consensus *)
+  | Chain3  (** Split → Bakery → CAS composition *)
+
+val algo_name : algo -> string
+
+type op = {
+  pid : int;
+  proposal : int;
+  outcome : (int option, int option) Outcome.t;
+  steps : int;
+  rmws : int;
+}
+
+type result = {
+  ops : op list;
+  sim : Sim.t;
+  agreement : bool;  (** all committed non-⊥ decisions equal *)
+  validity : bool;  (** every committed decision was somebody's proposal *)
+}
+
+val run :
+  ?seed:int ->
+  n:int ->
+  algo:algo ->
+  policy:(Scs_util.Rng.t -> Policy.t) ->
+  unit ->
+  result
+(** Process [i] proposes [100 + i]. *)
+
+val solo_steps : algo -> n:int -> int
+(** Steps taken by process 0 deciding alone — the solo/uncontended step
+    complexity the appendix algorithms are measured by. *)

@@ -1,0 +1,233 @@
+open Scs_util
+open Scs_spec
+open Scs_history
+open Scs_composable
+open Scs_sim
+
+type algo = Composed | Strict | Solo_fast | Hardware | Tournament
+
+let algo_name = function
+  | Composed -> "speculative"
+  | Strict -> "speculative-strict"
+  | Solo_fast -> "solo-fast"
+  | Hardware -> "hardware"
+  | Tournament -> "tournament"
+
+type op_record = {
+  pid : int;
+  round : int;
+  resp : Objects.tas_resp;
+  stage : Scs_tas.One_shot.stage option;
+  steps : int;
+  rmws : int;
+  raws : int;
+  invoke_ts : int;
+  resp_ts : int;
+}
+
+type result = {
+  ops : op_record list;
+  outer : (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.event array;
+  a1 : (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.event array;
+  a2 : (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.event array;
+  mem : Mem_event.t array;
+  sim : Sim.t;
+  registers : int;
+  rmw_objects : int;
+  round_of_req : (int, int) Hashtbl.t;
+}
+
+(* Shared runner scaffolding: build the simulator, traces and accounting,
+   then let [body] spawn the per-process code given a per-operation
+   wrapper that records an [op_record] around each attempt. *)
+type recorder = {
+  rec_outer : (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.t;
+  rec_a1 : (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.t;
+  rec_a2 : (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.t;
+  gen : Request.Gen.t;
+  round_of_req : (int, int) Hashtbl.t;
+  mutable recs : op_record list;
+}
+
+let make_recorder sim =
+  let clock () = Sim.clock sim in
+  {
+    rec_outer = Trace.create ~clock ();
+    rec_a1 = Trace.create ~clock ();
+    rec_a2 = Trace.create ~clock ();
+    gen = Request.Gen.create ();
+    round_of_req = Hashtbl.create 64;
+    recs = [];
+  }
+
+(* Record one operation: [f req] performs the algorithm and returns
+   (resp, stage, round); trace events are emitted by [f] itself. *)
+let record_op sim recorder ~pid f =
+  let req = Request.Gen.fresh recorder.gen Objects.Test_and_set in
+  let s0 = Sim.steps_of sim pid in
+  let r0 = Sim.rmws_of sim pid in
+  let f0 = Sim.raw_fences_of sim pid in
+  let t0 = Sim.clock sim in
+  let resp, stage, round = f req in
+  Hashtbl.replace recorder.round_of_req (Request.id req) round;
+  let op =
+    {
+      pid;
+      round;
+      resp;
+      stage;
+      steps = Sim.steps_of sim pid - s0;
+      rmws = Sim.rmws_of sim pid - r0;
+      raws = Sim.raw_fences_of sim pid - f0;
+      invoke_ts = t0;
+      resp_ts = Sim.clock sim;
+    }
+  in
+  recorder.recs <- op :: recorder.recs;
+  resp
+
+let finish sim recorder =
+  {
+    ops = List.rev recorder.recs;
+    outer = Trace.events recorder.rec_outer;
+    a1 = Trace.events recorder.rec_a1;
+    a2 = Trace.events recorder.rec_a2;
+    mem = Sim.trace_arr sim;
+    sim;
+    registers = Sim.objects_allocated sim;
+    rmw_objects = Sim.rmw_objects_allocated sim;
+    round_of_req = recorder.round_of_req;
+  }
+
+let run_policy ?(crashes = []) sim policy rng =
+  let p = policy rng in
+  let p = if crashes = [] then p else Policy.with_crashes crashes p in
+  Sim.run sim p
+
+let one_shot ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ~n ~algo ~policy () =
+  let rng = Rng.create seed in
+  let sim = Sim.create ~n () in
+  Sim.set_trace sim trace_mem;
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let recorder = make_recorder sim in
+  let tr = recorder in
+  (* a per-process closure performing one traced operation *)
+  let op_fn : (pid:int -> Objects.tas_req Request.t -> Objects.tas_resp * Scs_tas.One_shot.stage option) =
+    match algo with
+    | Composed | Strict ->
+        let module OS = Scs_tas.One_shot.Make (P) in
+        let os = OS.create ~strict:(algo = Strict) ~name:"tas" () in
+        fun ~pid req ->
+          Trace.invoke tr.rec_outer ~pid req;
+          Trace.invoke tr.rec_a1 ~pid req;
+          (match OS.A1m.apply (OS.a1 os) ~pid None with
+          | Outcome.Commit r ->
+              Trace.commit tr.rec_a1 ~pid req r;
+              Trace.commit tr.rec_outer ~pid req r;
+              (r, Some Scs_tas.One_shot.Fast)
+          | Outcome.Abort v -> (
+              Trace.abort tr.rec_a1 ~pid req v;
+              Trace.init tr.rec_a2 ~pid req v;
+              match OS.A2m.apply (OS.a2 os) ~pid (Some v) with
+              | Outcome.Commit r ->
+                  Trace.commit tr.rec_a2 ~pid req r;
+                  Trace.commit tr.rec_outer ~pid req r;
+                  (r, Some Scs_tas.One_shot.Fallback)
+              | Outcome.Abort _ -> assert false))
+    | Solo_fast ->
+        let module SF = Scs_tas.Solo_fast.Make (P) in
+        let sf = SF.create ~name:"sftas" () in
+        fun ~pid req ->
+          Trace.invoke tr.rec_outer ~pid req;
+          Trace.invoke tr.rec_a1 ~pid req;
+          (match SF.apply_fast sf ~pid None with
+          | Outcome.Commit r ->
+              Trace.commit tr.rec_a1 ~pid req r;
+              Trace.commit tr.rec_outer ~pid req r;
+              (r, Some Scs_tas.One_shot.Fast)
+          | Outcome.Abort v -> (
+              Trace.abort tr.rec_a1 ~pid req v;
+              Trace.init tr.rec_a2 ~pid req v;
+              match SF.apply_fallback sf ~pid (Some v) with
+              | Outcome.Commit r ->
+                  Trace.commit tr.rec_a2 ~pid req r;
+                  Trace.commit tr.rec_outer ~pid req r;
+                  (r, Some Scs_tas.One_shot.Fallback)
+              | Outcome.Abort _ -> assert false))
+    | Hardware ->
+        let module B = Scs_tas.Baselines.Make (P) in
+        let hw = B.Hardware.create ~name:"hw" () in
+        fun ~pid req ->
+          Trace.invoke tr.rec_outer ~pid req;
+          let r = B.Hardware.test_and_set hw ~pid in
+          Trace.commit tr.rec_outer ~pid req r;
+          (r, None)
+    | Tournament ->
+        let module B = Scs_tas.Baselines.Make (P) in
+        let tn = B.Tournament.create ~name:"agtv" ~n () in
+        let rngs = Array.init n (fun _ -> Rng.split rng) in
+        fun ~pid req ->
+          Trace.invoke tr.rec_outer ~pid req;
+          let r = B.Tournament.test_and_set tn ~pid ~rng:rngs.(pid) in
+          Trace.commit tr.rec_outer ~pid req r;
+          (r, None)
+  in
+  for pid = 0 to n - 1 do
+    Sim.spawn sim pid (fun () ->
+        ignore
+          (record_op sim recorder ~pid (fun req ->
+               let resp, stage = op_fn ~pid req in
+               (resp, stage, 0))))
+  done;
+  run_policy ~crashes sim policy (Rng.split rng);
+  finish sim recorder
+
+let long_lived ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ?(strict = false) ~n
+    ~ops_per_proc ~policy () =
+  let rng = Rng.create seed in
+  let sim = Sim.create ~max_steps:10_000_000 ~n () in
+  Sim.set_trace sim trace_mem;
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module LL = Scs_tas.Long_lived.Make (P) in
+  let recorder = make_recorder sim in
+  let ll = LL.create ~strict ~name:"lltas" ~rounds:((n * ops_per_proc) + 1) () in
+  for pid = 0 to n - 1 do
+    Sim.spawn sim pid (fun () ->
+        let h = LL.handle ll ~pid in
+        for _ = 1 to ops_per_proc do
+          let resp =
+            record_op sim recorder ~pid (fun req ->
+                Trace.invoke recorder.rec_outer ~pid req;
+                let resp, stage, round = LL.test_and_set_info h in
+                Trace.commit recorder.rec_outer ~pid req resp;
+                (resp, Some stage, round))
+          in
+          if resp = Objects.Winner then LL.reset h
+        done)
+  done;
+  run_policy ~crashes sim policy (Rng.split rng);
+  finish sim recorder
+
+let rounds_of result =
+  let ops = Trace.operations result.outer in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (o : _ Trace.operation) ->
+      let round =
+        match Hashtbl.find_opt result.round_of_req (Request.id o.Trace.op_req) with
+        | Some r -> r
+        | None -> 0
+      in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl round) in
+      Hashtbl.replace tbl round (o :: cur))
+    ops;
+  Hashtbl.fold (fun _ ops acc -> List.rev ops :: acc) tbl []
+
+let winners result = List.filter (fun o -> o.resp = Objects.Winner) result.ops
+
+let step_contended_ops result =
+  List.map
+    (fun op ->
+      let iv = { Detect.pid = op.pid; start_ts = op.invoke_ts; end_ts = op.resp_ts } in
+      (op, Detect.step_contended result.mem iv))
+    result.ops

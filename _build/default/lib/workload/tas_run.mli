@@ -1,0 +1,86 @@
+(** Simulated test-and-set workloads: the glue between the algorithms, the
+    deterministic scheduler and the checkers. Every experiment and most
+    tests funnel through this module. *)
+
+open Scs_spec
+open Scs_history
+open Scs_composable
+open Scs_sim
+
+type algo =
+  | Composed  (** the speculative A1 ∘ A2 of Section 6, verbatim *)
+  | Strict  (** A1 (strict variant) ∘ A2: strictly linearizable *)
+  | Solo_fast  (** the Appendix B variant *)
+  | Hardware  (** raw hardware TAS *)
+  | Tournament  (** AGTV-style register-only randomized TAS *)
+
+val algo_name : algo -> string
+
+type op_record = {
+  pid : int;
+  round : int;  (** long-lived round (0 for one-shot runs) *)
+  resp : Objects.tas_resp;
+  stage : Scs_tas.One_shot.stage option;  (** [None] for baselines *)
+  steps : int;
+  rmws : int;
+  raws : int;  (** RAW fences *)
+  invoke_ts : int;
+  resp_ts : int;
+}
+
+type result = {
+  ops : op_record list;
+  outer : (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.event array;
+      (** client-level trace: invokes and commits only *)
+  a1 : (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.event array;
+      (** module-level trace of A1 (invoke/commit/abort); empty for
+          baselines *)
+  a2 : (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.event array;
+      (** module-level trace of A2 (init/commit) *)
+  mem : Mem_event.t array;  (** low-level memory steps *)
+  sim : Sim.t;
+  registers : int;  (** base objects allocated *)
+  rmw_objects : int;
+  round_of_req : (int, int) Hashtbl.t;  (** request id → long-lived round *)
+}
+
+val one_shot :
+  ?seed:int ->
+  ?trace_mem:bool ->
+  ?crashes:(int * int) list ->
+  n:int ->
+  algo:algo ->
+  policy:(Scs_util.Rng.t -> Policy.t) ->
+  unit ->
+  result
+(** Every process performs exactly one test-and-set. [policy] receives a
+    deterministic sub-stream of [seed]. [crashes] are [(pid, after_steps)]
+    pairs. *)
+
+val long_lived :
+  ?seed:int ->
+  ?trace_mem:bool ->
+  ?crashes:(int * int) list ->
+  ?strict:bool ->
+  n:int ->
+  ops_per_proc:int ->
+  policy:(Scs_util.Rng.t -> Policy.t) ->
+  unit ->
+  result
+(** The resettable object of Algorithm 2 (always the Composed algorithm):
+    each process runs [ops_per_proc] cycles of test-and-set followed, on a
+    win, by reset. [round] in each {!op_record} is the [Count] value the
+    operation started from. The outer trace uses the one-shot TAS request
+    type per round; use [rounds_of] to regroup it. *)
+
+val rounds_of :
+  result -> (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.operation list list
+(** Long-lived operations grouped by round, for
+    {!Scs_history.Tas_lin.check_long_lived}. *)
+
+(** {1 Derived judgements} *)
+
+val winners : result -> op_record list
+val step_contended_ops : result -> (op_record * bool) list
+(** Each operation paired with "did it run under step contention"
+    (requires [trace_mem:true]). *)

@@ -1,0 +1,50 @@
+(** Simulated workloads over the composable universal construction
+    (experiments T5/T6 and the Abstract-property tests).
+
+    The runner drives the stage chain explicitly (rather than through
+    {!Scs_universal.Uc_object}) so that it can record, per stage, the
+    Abstract events — invokes, inits with inherited histories, commits and
+    aborts with returned histories — that
+    {!Scs_history.Abstract_check.check} consumes. *)
+
+open Scs_spec
+open Scs_history
+open Scs_sim
+
+type stage_kind = S_split | S_bakery | S_cas
+
+val stage_name : stage_kind -> string
+
+type 'i uc_result = {
+  responses : (int * 'i Request.t * int) list;
+      (** (pid, request, steps) per committed request *)
+  outer : ('i, unit, unit) Trace.event array;
+      (** client-level invoke/commit trace (responses are recomputed from
+          histories by the caller's spec, so the trace carries unit) *)
+  commit_hists : (int * 'i History.t) list;  (** (pid, history) per commit *)
+  stage_events : 'i Abstract_check.event list array;  (** per stage, in order *)
+  switch_lens : (int * int) list;  (** (pid, |abort history|) per switch *)
+  final_stages : int array;  (** per pid: stage in use at the end *)
+  sim : Sim.t;
+}
+
+val run :
+  ?seed:int ->
+  ?max_requests:int ->
+  ?crashes:(int * int) list ->
+  n:int ->
+  ops_per_proc:int ->
+  stages:stage_kind list ->
+  policy:(Scs_util.Rng.t -> Policy.t) ->
+  gen_payload:(pid:int -> k:int -> 'i) ->
+  unit ->
+  'i uc_result
+(** Each process issues [ops_per_proc] requests with payloads from
+    [gen_payload]. The last stage should be [S_cas] for termination under
+    adversarial schedules. *)
+
+val check_responses :
+  ('q, 'i, 'r) Spec.t -> 'i uc_result -> (unit, string) result
+(** Verify that all commit histories are prefix-consistent and replay them
+    under the spec to check every response is explained (the client-side
+    view of the Commit Order property). *)

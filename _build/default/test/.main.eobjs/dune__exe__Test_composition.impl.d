@@ -1,0 +1,1 @@
+test/test_composition.ml: Alcotest Array List Objects Outcome Policy Request Scs_composable Scs_history Scs_prims Scs_sim Scs_spec Scs_tas Scs_util Sim Tas_interp Tas_lin Trace

@@ -1,0 +1,1 @@
+test/test_crashes.ml: Alcotest Array List Outcome Policy Scs_composable Scs_consensus Scs_history Scs_prims Scs_sim Scs_spec Scs_universal Scs_util Scs_workload Sim Tas_run Uc_run

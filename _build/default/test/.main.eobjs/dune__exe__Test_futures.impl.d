@@ -1,0 +1,1 @@
+test/test_futures.ml: Alcotest Array Explore Linearize List Objects Option Policy Request Scs_futures Scs_history Scs_prims Scs_sim Scs_spec Scs_util Sim Spec_object Trace

@@ -1,0 +1,1 @@
+test/test_history.ml: Abstract_check Alcotest Gen Linearize List Objects QCheck QCheck_alcotest Request Scs_history Scs_spec Tas_lin Trace

@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Policy Printf Scs_prims Scs_sim Scs_tas Scs_util Sim

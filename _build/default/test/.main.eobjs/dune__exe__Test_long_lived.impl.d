@@ -1,0 +1,1 @@
+test/test_long_lived.ml: Alcotest Hashtbl List Objects Option Policy Scs_history Scs_prims Scs_sim Scs_spec Scs_tas Scs_workload Sim Tas_lin Tas_run

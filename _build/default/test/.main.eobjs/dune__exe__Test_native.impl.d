@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Array Domain List Mutex Objects Scs_prims Scs_spec Scs_tas Scs_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Detect Explore List Mem_event Op Policy Rng Scs_sim Scs_util Sim

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest History List Objects Request Scs_spec Spec

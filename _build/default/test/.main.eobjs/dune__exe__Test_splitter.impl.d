@@ -1,0 +1,1 @@
+test/test_splitter.ml: Alcotest Array Explore List Policy Scs_consensus Scs_prims Scs_sim Sim Splitter

@@ -1,0 +1,1 @@
+test/test_universal.ml: Abstract_check Alcotest Array Linearize List Objects Policy Request Scs_consensus Scs_history Scs_prims Scs_sim Scs_spec Scs_universal Scs_util Scs_workload Sim Trace Uc_run

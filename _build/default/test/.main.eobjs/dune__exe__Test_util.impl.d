@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Chart List Option Rng Scs_util Stats String Table Vec

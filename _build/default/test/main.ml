@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "repro"
+    [
+      ("util", Test_util.tests);
+      ("sim", Test_sim.tests);
+      ("spec", Test_spec.tests);
+      ("history", Test_history.tests);
+      ("splitter", Test_splitter.tests);
+      ("consensus", Test_consensus.tests);
+      ("a1", Test_a1.tests);
+      ("composed", Test_composed.tests);
+      ("findings", Test_findings.tests);
+      ("long_lived", Test_long_lived.tests);
+      ("universal", Test_universal.tests);
+      ("locks", Test_locks.tests);
+      ("native", Test_native.tests);
+      ("properties", Test_props.tests);
+      ("futures", Test_futures.tests);
+      ("crashes", Test_crashes.tests);
+      ("composition", Test_composition.tests);
+    ]

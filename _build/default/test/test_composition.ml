@@ -1,0 +1,183 @@
+(* The composition machinery itself: the Outcome combinator, module-order
+   variations (Section 6.3: "the above modules have the property that they
+   can be composed in any order"), and interpretation checking of traces
+   WITH init events — the composition side of Definition 2. *)
+
+open Scs_spec
+open Scs_history
+open Scs_sim
+open Scs_composable
+
+(* ---- the Outcome combinator ------------------------------------------- *)
+
+let const_module name outcome =
+  { Outcome.m_name = name; m_apply = (fun ~pid:_ ?init:_ _req -> outcome) }
+
+let test_compose_commit_short_circuits () =
+  let a = const_module "a" (Outcome.Commit "from-a") in
+  let b = const_module "b" (Outcome.Commit "from-b") in
+  let m = Outcome.compose a b in
+  Alcotest.(check string) "name" "a>b" m.Outcome.m_name;
+  Alcotest.(check bool) "a answers" true
+    (m.Outcome.m_apply ~pid:0 () = Outcome.Commit "from-a")
+
+let test_compose_abort_switches () =
+  let got_init = ref None in
+  let a = const_module "a" (Outcome.Abort 42) in
+  let b =
+    {
+      Outcome.m_name = "b";
+      m_apply =
+        (fun ~pid:_ ?init _req ->
+          got_init := init;
+          Outcome.Commit "from-b");
+    }
+  in
+  let m = Outcome.compose a b in
+  Alcotest.(check bool) "b answers" true
+    (m.Outcome.m_apply ~pid:0 () = Outcome.Commit "from-b");
+  Alcotest.(check (option int)) "switch value delivered" (Some 42) !got_init
+
+let test_chain_propagates () =
+  let a = const_module "a" (Outcome.Abort 1) in
+  let b = const_module "b" (Outcome.Abort 2) in
+  let c = const_module "c" (Outcome.Commit "done") in
+  let m = Outcome.chain [ a; b; c ] in
+  Alcotest.(check bool) "chain commits at the end" true
+    (m.Outcome.m_apply ~pid:0 () = Outcome.Commit "done");
+  let all_abort = Outcome.chain [ a; b ] in
+  Alcotest.(check bool) "chain abort propagates" true
+    (all_abort.Outcome.m_apply ~pid:0 () = Outcome.Abort 2)
+
+let test_chain_empty_rejected () =
+  Alcotest.check_raises "empty chain" (Invalid_argument "Outcome.chain: empty module list")
+    (fun () -> ignore (Outcome.chain ([] : (unit, unit, unit) Outcome.m list)))
+
+let test_outcome_helpers () =
+  Alcotest.(check bool) "is_commit" true (Outcome.is_commit (Outcome.Commit 1));
+  Alcotest.(check bool) "is_abort" true (Outcome.is_abort (Outcome.Abort 1));
+  Alcotest.(check int) "commit_exn" 5 (Outcome.commit_exn (Outcome.Commit 5));
+  Alcotest.check_raises "commit_exn on abort"
+    (Invalid_argument "Outcome.commit_exn: outcome is an abort") (fun () ->
+      ignore (Outcome.commit_exn (Outcome.Abort 0)));
+  Alcotest.(check bool) "map_commit" true
+    (Outcome.map_commit (( + ) 1) (Outcome.Commit 1) = Outcome.Commit 2)
+
+(* ---- module order variations ------------------------------------------ *)
+
+type order = A2_first | A1_twice_then_a2 | Strict_then_a2
+
+let run_order ~order ~n ~seed =
+  let sim = Sim.create ~n () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module A1 = Scs_tas.A1.Make (P) in
+  let module A2 = Scs_tas.A2.Make (P) in
+  let tr = Trace.create ~clock:(fun () -> Sim.clock sim) () in
+  let m =
+    match order with
+    | A2_first ->
+        (* A2 never aborts, so the A1 tail is dead code — still a legal
+           composition per Section 6.3 *)
+        Outcome.chain [ A2.as_module (A2.create ~name:"a2" ()); A1.as_module (A1.create ~name:"a1" ()) ]
+    | A1_twice_then_a2 ->
+        Outcome.chain
+          [
+            A1.as_module (A1.create ~name:"x" ());
+            A1.as_module (A1.create ~name:"y" ());
+            A2.as_module (A2.create ~name:"z" ());
+          ]
+    | Strict_then_a2 ->
+        Outcome.chain
+          [
+            A1.as_module (A1.create ~strict:true ~name:"s" ());
+            A2.as_module (A2.create ~name:"z" ());
+          ]
+  in
+  for pid = 0 to n - 1 do
+    Sim.spawn sim pid (fun () ->
+        let req = Request.make pid Objects.Test_and_set in
+        Trace.invoke tr ~pid req;
+        match m.Outcome.m_apply ~pid Objects.Test_and_set with
+        | Outcome.Commit r -> Trace.commit tr ~pid req r
+        | Outcome.Abort _ -> Alcotest.fail "wait-free chain aborted")
+  done;
+  Sim.run sim (Policy.random (Scs_util.Rng.create seed));
+  Trace.events tr
+
+let test_a2_first_linearizable () =
+  for seed = 1 to 60 do
+    let evs = run_order ~order:A2_first ~n:4 ~seed in
+    if not (Tas_lin.check_one_shot (Trace.operations evs)) then
+      Alcotest.failf "A2-first not linearizable at seed %d" seed
+  done
+
+let test_a1_twice_interpretable () =
+  (* the deeper chain keeps the paper's (speculative) correctness notion *)
+  for seed = 1 to 60 do
+    let evs = run_order ~order:A1_twice_then_a2 ~n:4 ~seed in
+    (match Tas_interp.check_events evs with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "A1.A1.A2 at seed %d: %s" seed e);
+    let winners =
+      Trace.operations evs
+      |> List.filter (fun (o : _ Trace.operation) ->
+             match o.Trace.outcome with
+             | Trace.Committed { resp = Objects.Winner; _ } -> true
+             | _ -> false)
+    in
+    Alcotest.(check int) "one winner" 1 (List.length winners)
+  done
+
+let test_strict_chain_linearizable () =
+  for seed = 1 to 100 do
+    let evs = run_order ~order:Strict_then_a2 ~n:5 ~seed in
+    if not (Tas_lin.check_one_shot (Trace.operations evs)) then
+      Alcotest.failf "strict chain not linearizable at seed %d" seed
+  done
+
+(* ---- interpretation of traces with inits ------------------------------- *)
+
+(* an A1-as-second-module trace: the first module's aborts initialise it *)
+let test_a1_with_inits_interpretable () =
+  for seed = 1 to 80 do
+    let n = 3 in
+    let sim = Sim.create ~n () in
+    let module P = (val Scs_prims.Sim_prims.make sim) in
+    let module A1 = Scs_tas.A1.Make (P) in
+    let first = A1.create ~name:"first" () in
+    let second = A1.create ~name:"second" () in
+    let tr2 = Trace.create ~clock:(fun () -> Sim.clock sim) () in
+    for pid = 0 to n - 1 do
+      Sim.spawn sim pid (fun () ->
+          let req = Request.make pid Objects.Test_and_set in
+          match A1.apply first ~pid None with
+          | Outcome.Commit _ -> ()
+          | Outcome.Abort v -> (
+              (* module 2's trace starts with an init event *)
+              Trace.init tr2 ~pid req v;
+              match A1.apply second ~pid (Some v) with
+              | Outcome.Commit r -> Trace.commit tr2 ~pid req r
+              | Outcome.Abort v' -> Trace.abort tr2 ~pid req v'))
+    done;
+    Sim.run sim (Policy.random (Scs_util.Rng.create seed));
+    let evs = Trace.events tr2 in
+    if Array.length evs > 0 then begin
+      match Tas_interp.check_events evs with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "init-bearing A1 trace at seed %d: %s" seed e
+    end
+  done
+
+let tests =
+  [
+    Alcotest.test_case "compose: commit short-circuits" `Quick test_compose_commit_short_circuits;
+    Alcotest.test_case "compose: abort switches with value" `Quick test_compose_abort_switches;
+    Alcotest.test_case "chain: propagation" `Quick test_chain_propagates;
+    Alcotest.test_case "chain: empty rejected" `Quick test_chain_empty_rejected;
+    Alcotest.test_case "outcome helpers" `Quick test_outcome_helpers;
+    Alcotest.test_case "A2-first order linearizable" `Quick test_a2_first_linearizable;
+    Alcotest.test_case "A1.A1.A2 interpretable, one winner" `Quick test_a1_twice_interpretable;
+    Alcotest.test_case "strict.A2 chain linearizable" `Quick test_strict_chain_linearizable;
+    Alcotest.test_case "A1-with-inits traces interpretable" `Quick
+      test_a1_with_inits_interpretable;
+  ]

@@ -1,0 +1,322 @@
+(* Verification of the abortable consensus algorithms: agreement, validity,
+   progress under the advertised contention classes, and solo step
+   complexity. Small instances are model-checked exhaustively; larger ones
+   are explored with budgets plus seeded random schedules. *)
+
+open Scs_sim
+open Scs_composable
+open Scs_consensus
+open Scs_workload
+
+(* ---- generic exhaustive safety check -------------------------------- *)
+
+type mk = { mk : 'a. (module Scs_prims.Prims_intf.S) -> n:int -> int Consensus_intf.t }
+
+let exhaustive_safety ?(max_schedules = 60_000) ~n make_instance =
+  let outcomes = Array.make n None in
+  let setup sim =
+    Array.fill outcomes 0 n None;
+    let module P = (val Scs_prims.Sim_prims.make sim) in
+    let inst = make_instance.mk (module P : Scs_prims.Prims_intf.S) ~n in
+    for pid = 0 to n - 1 do
+      Sim.spawn sim pid (fun () ->
+          outcomes.(pid) <- Some (inst.Consensus_intf.run ~pid ~old:None (100 + pid)))
+    done
+  in
+  let bad = ref [] in
+  let check _sim sched =
+    let decisions =
+      Array.to_list outcomes
+      |> List.filter_map (function Some (Outcome.Commit (Some d)) -> Some d | _ -> None)
+    in
+    (match decisions with
+    | [] -> ()
+    | d :: rest ->
+        if not (List.for_all (fun x -> x = d) rest) then bad := ("disagreement", sched) :: !bad);
+    List.iter
+      (fun d -> if d < 100 || d >= 100 + n then bad := ("invalid decision", sched) :: !bad)
+      decisions
+  in
+  let outcome = Explore.exhaustive ~max_schedules ~n ~setup ~check () in
+  (outcome, !bad)
+
+let split_mk =
+  {
+    mk =
+      (fun (module P : Scs_prims.Prims_intf.S) ~n:_ ->
+        let module SC = Split_consensus.Make (P) in
+        SC.instance (SC.create ~name:"split" ()));
+  }
+
+let bakery_mk =
+  {
+    mk =
+      (fun (module P : Scs_prims.Prims_intf.S) ~n ->
+        let module AB = Abortable_bakery.Make (P) in
+        AB.instance (AB.create ~name:"bakery" ~n ()));
+  }
+
+let cas_mk =
+  {
+    mk =
+      (fun (module P : Scs_prims.Prims_intf.S) ~n:_ ->
+        let module CC = Cas_consensus.Make (P) in
+        CC.instance (CC.create ~name:"cas" ()));
+  }
+
+let chain_mk =
+  {
+    mk =
+      (fun (module P : Scs_prims.Prims_intf.S) ~n ->
+        let module SC = Split_consensus.Make (P) in
+        let module AB = Abortable_bakery.Make (P) in
+        let module CC = Cas_consensus.Make (P) in
+        let module CH = Chain.Make (P) in
+        CH.make ~name:"chain"
+          [
+            SC.instance (SC.create ~name:"c.split" ());
+            AB.instance (AB.create ~name:"c.bakery" ~n ());
+            CC.instance (CC.create ~name:"c.cas" ());
+          ]);
+  }
+
+let check_exhaustive name ?(max_schedules = 60_000) ~n mk () =
+  let _, bad = exhaustive_safety ~max_schedules ~n mk in
+  Alcotest.(check int) (name ^ ": no safety violations") 0 (List.length bad)
+
+(* ---- random-schedule safety over larger configurations -------------- *)
+
+let random_safety ~n ~algo ~runs () =
+  for seed = 1 to runs do
+    let r = Cons_run.run ~seed ~n ~algo ~policy:Policy.random () in
+    if not r.Cons_run.agreement then
+      Alcotest.failf "%s: disagreement at seed %d" (Cons_run.algo_name algo) seed;
+    if not r.Cons_run.validity then
+      Alcotest.failf "%s: invalid decision at seed %d" (Cons_run.algo_name algo) seed
+  done
+
+(* ---- progress -------------------------------------------------------- *)
+
+let all_commit r =
+  List.for_all
+    (fun (o : Cons_run.op) ->
+      match o.Cons_run.outcome with Outcome.Commit (Some _) -> true | _ -> false)
+    r.Cons_run.ops
+
+let test_split_solo_commits () =
+  let r = Cons_run.run ~n:4 ~algo:Cons_run.Split ~policy:(fun _ -> Policy.solo 0) () in
+  match r.Cons_run.ops with
+  | [ o ] ->
+      Alcotest.(check bool) "committed own value" true
+        (o.Cons_run.outcome = Outcome.Commit (Some 100))
+  | _ -> Alcotest.fail "expected exactly one op"
+
+let test_split_sequential_commits () =
+  (* no interval contention: every process commits *)
+  let r = Cons_run.run ~n:6 ~algo:Cons_run.Split ~policy:(fun _ -> Policy.sequential ()) () in
+  Alcotest.(check bool) "all commit" true (all_commit r);
+  Alcotest.(check bool) "agreement" true r.Cons_run.agreement
+
+let test_bakery_sequential_commits () =
+  let r = Cons_run.run ~n:5 ~algo:Cons_run.Bakery ~policy:(fun _ -> Policy.sequential ()) () in
+  Alcotest.(check bool) "all commit" true (all_commit r);
+  Alcotest.(check bool) "agreement" true r.Cons_run.agreement
+
+let test_cas_always_commits () =
+  for seed = 1 to 30 do
+    let r = Cons_run.run ~seed ~n:5 ~algo:Cons_run.Cas ~policy:Policy.random () in
+    Alcotest.(check bool) "wait-free" true (all_commit r)
+  done
+
+let test_chain_always_commits () =
+  for seed = 1 to 30 do
+    let r = Cons_run.run ~seed ~n:4 ~algo:Cons_run.Chain3 ~policy:Policy.random () in
+    Alcotest.(check bool) "chain wait-free" true (all_commit r);
+    Alcotest.(check bool) "chain agreement" true r.Cons_run.agreement
+  done
+
+(* ---- solo step complexity ------------------------------------------- *)
+
+let test_split_solo_steps_constant () =
+  let s4 = Cons_run.solo_steps Cons_run.Split ~n:4 in
+  let s32 = Cons_run.solo_steps Cons_run.Split ~n:32 in
+  Alcotest.(check int) "independent of n" s4 s32;
+  Alcotest.(check bool) "small constant" true (s4 <= 24)
+
+let test_bakery_solo_steps_linear () =
+  let s4 = Cons_run.solo_steps Cons_run.Bakery ~n:4 in
+  let s8 = Cons_run.solo_steps Cons_run.Bakery ~n:8 in
+  let s16 = Cons_run.solo_steps Cons_run.Bakery ~n:16 in
+  Alcotest.(check bool) "grows with n" true (s8 > s4 && s16 > s8);
+  (* three collects per propose, two proposes in the wrapper: ~6n + O(1) *)
+  Alcotest.(check bool) "linear upper" true (s16 < 10 * 16);
+  Alcotest.(check bool) "linear lower" true (s16 - s8 >= 3 * 8)
+
+let test_cas_solo_steps () =
+  let s = Cons_run.solo_steps Cons_run.Cas ~n:8 in
+  Alcotest.(check bool) "constant" true (s <= 5)
+
+(* ---- abort only under contention ------------------------------------ *)
+
+let test_split_abort_implies_contention () =
+  (* under any random schedule, a process that runs with no overlapping
+     ops commits; we verify the contrapositive statistically: in
+     sequential runs nothing aborts (checked above), and in contended runs
+     aborts are possible *)
+  let saw_abort = ref false in
+  for seed = 1 to 50 do
+    let r = Cons_run.run ~seed ~n:4 ~algo:Cons_run.Split ~policy:Policy.random () in
+    if not (all_commit r) then saw_abort := true
+  done;
+  Alcotest.(check bool) "contention can abort" true !saw_abort
+
+let test_bakery_abort_implies_contention () =
+  let saw_abort = ref false in
+  for seed = 1 to 50 do
+    let r = Cons_run.run ~seed ~n:4 ~algo:Cons_run.Bakery ~policy:Policy.random () in
+    if not (all_commit r) then saw_abort := true
+  done;
+  Alcotest.(check bool) "contention can abort" true !saw_abort
+
+(* ---- abort value propagation ---------------------------------------- *)
+
+let test_split_abort_learns_decision () =
+  (* p0 commits solo; p1 then aborts or commits — if it commits it must
+     return p0's value; its probe must also see it *)
+  let sim = Sim.create ~n:2 () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module SC = Split_consensus.Make (P) in
+  let c = SC.create ~name:"s" () in
+  let inst = SC.instance c in
+  let r0 = ref None and probe1 = ref None in
+  Sim.spawn sim 0 (fun () -> r0 := Some (inst.Consensus_intf.run ~pid:0 ~old:None 100));
+  Sim.spawn sim 1 (fun () -> probe1 := Consensus_intf.probe inst ~pid:1);
+  Sim.run sim (Policy.sequential ());
+  Alcotest.(check bool) "p0 committed 100" true (!r0 = Some (Outcome.Commit (Some 100)));
+  Alcotest.(check bool) "probe sees 100" true (!probe1 = Some 100)
+
+(* ---- randomized 2-process consensus (CIL) ---------------------------- *)
+
+let test_cil_solo () =
+  let sim = Sim.create ~n:1 () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module C = Cil_consensus.Make (P) in
+  let c = C.create ~name:"cil" () in
+  let d = ref None in
+  Sim.spawn sim 0 (fun () ->
+      d := Some (C.propose c ~pid:0 ~rng:(Scs_util.Rng.create 1) 42));
+  Sim.run sim (Policy.round_robin ());
+  Alcotest.(check bool) "solo decides own" true (!d = Some 42)
+
+let test_cil_agreement_random () =
+  for seed = 1 to 300 do
+    let sim = Sim.create ~max_steps:100_000 ~n:2 () in
+    let module P = (val Scs_prims.Sim_prims.make sim) in
+    let module C = Cil_consensus.Make (P) in
+    let c = C.create ~name:"cil" () in
+    let rng = Scs_util.Rng.create seed in
+    let d = Array.make 2 None in
+    for pid = 0 to 1 do
+      let prng = Scs_util.Rng.split rng in
+      Sim.spawn sim pid (fun () -> d.(pid) <- Some (C.propose c ~pid ~rng:prng (pid + 10)))
+    done;
+    Sim.run sim (Policy.random (Scs_util.Rng.split rng));
+    match (d.(0), d.(1)) with
+    | Some a, Some b ->
+        if a <> b then Alcotest.failf "cil disagreement at seed %d: %d vs %d" seed a b;
+        if a <> 10 && a <> 11 then Alcotest.failf "cil invalid at seed %d" seed
+    | _ -> Alcotest.failf "cil did not terminate at seed %d" seed
+  done
+
+let test_cil_exhaustive_safety () =
+  (* bounded exhaustive check: agreement must hold on every interleaving
+     explored within the budget (coin flips fixed by per-pid seeds) *)
+  let d = Array.make 2 None in
+  let setup sim =
+    Array.fill d 0 2 None;
+    let module P = (val Scs_prims.Sim_prims.make sim) in
+    let module C = Cil_consensus.Make (P) in
+    let c = C.create ~name:"cil" () in
+    for pid = 0 to 1 do
+      Sim.spawn sim pid (fun () ->
+          d.(pid) <- Some (C.propose c ~pid ~rng:(Scs_util.Rng.create (pid + 1)) (pid + 10)))
+    done
+  in
+  let bad = ref 0 in
+  let check _ _ =
+    match (d.(0), d.(1)) with Some a, Some b when a <> b -> incr bad | _ -> ()
+  in
+  let _ = Explore.exhaustive ~max_schedules:30_000 ~max_depth:200 ~n:2 ~setup ~check () in
+  Alcotest.(check int) "no disagreement" 0 !bad
+
+(* ---- consensus-number census (Related Work, ref [6]) ------------------ *)
+
+let test_abortable_consensus_register_only () =
+  (* "a safely composable consensus implementation may have consensus
+     number 1": both appendix algorithms use registers only *)
+  let census algo =
+    let r = Cons_run.run ~n:4 ~algo ~policy:Policy.random () in
+    Sim.rmw_objects_allocated r.Cons_run.sim
+  in
+  Alcotest.(check int) "SplitConsensus: no RMW objects" 0 (census Cons_run.Split);
+  Alcotest.(check int) "AbortableBakery: no RMW objects" 0 (census Cons_run.Bakery);
+  Alcotest.(check bool) "the wait-free closer does need one" true (census Cons_run.Cas > 0)
+
+(* ---- 2-process consensus from TAS (hierarchy witness) ---------------- *)
+
+let test_tas_consensus_exhaustive () =
+  let d = Array.make 2 None in
+  let setup sim =
+    Array.fill d 0 2 None;
+    let module P = (val Scs_prims.Sim_prims.make sim) in
+    let module TC = Tas_consensus.Make (P) in
+    let c = TC.create ~name:"tc" () in
+    for pid = 0 to 1 do
+      Sim.spawn sim pid (fun () -> d.(pid) <- Some (TC.propose c ~pid (pid + 10)))
+    done
+  in
+  let bad = ref 0 in
+  let check _ _ =
+    match (d.(0), d.(1)) with
+    | Some a, Some b -> if a <> b then incr bad
+    | _ -> incr bad
+  in
+  let outcome = Explore.exhaustive ~n:2 ~setup ~check () in
+  Alcotest.(check bool) "full exploration" false outcome.Explore.truncated;
+  Alcotest.(check int) "agreement everywhere" 0 !bad
+
+let tests =
+  [
+    Alcotest.test_case "split exhaustive n=2" `Quick (check_exhaustive "split" ~n:2 split_mk);
+    Alcotest.test_case "split exhaustive n=3 (budget)" `Slow
+      (check_exhaustive "split" ~max_schedules:40_000 ~n:3 split_mk);
+    Alcotest.test_case "bakery exhaustive n=2 (budget)" `Slow
+      (check_exhaustive "bakery" ~max_schedules:40_000 ~n:2 bakery_mk);
+    Alcotest.test_case "cas exhaustive n=2" `Quick (check_exhaustive "cas" ~n:2 cas_mk);
+    Alcotest.test_case "chain exhaustive n=2 (budget)" `Slow
+      (check_exhaustive "chain" ~max_schedules:40_000 ~n:2 chain_mk);
+    Alcotest.test_case "split random n=6" `Quick (fun () ->
+        random_safety ~n:6 ~algo:Cons_run.Split ~runs:100 ());
+    Alcotest.test_case "bakery random n=6" `Quick (fun () ->
+        random_safety ~n:6 ~algo:Cons_run.Bakery ~runs:100 ());
+    Alcotest.test_case "chain random n=5" `Quick (fun () ->
+        random_safety ~n:5 ~algo:Cons_run.Chain3 ~runs:100 ());
+    Alcotest.test_case "split solo commits" `Quick test_split_solo_commits;
+    Alcotest.test_case "split sequential commits" `Quick test_split_sequential_commits;
+    Alcotest.test_case "bakery sequential commits" `Quick test_bakery_sequential_commits;
+    Alcotest.test_case "cas always commits" `Quick test_cas_always_commits;
+    Alcotest.test_case "chain always commits" `Quick test_chain_always_commits;
+    Alcotest.test_case "split solo steps constant" `Quick test_split_solo_steps_constant;
+    Alcotest.test_case "bakery solo steps linear" `Quick test_bakery_solo_steps_linear;
+    Alcotest.test_case "cas solo steps" `Quick test_cas_solo_steps;
+    Alcotest.test_case "split aborts under contention" `Quick test_split_abort_implies_contention;
+    Alcotest.test_case "bakery aborts under contention" `Quick
+      test_bakery_abort_implies_contention;
+    Alcotest.test_case "split abort learns decision" `Quick test_split_abort_learns_decision;
+    Alcotest.test_case "cil solo" `Quick test_cil_solo;
+    Alcotest.test_case "cil agreement random" `Quick test_cil_agreement_random;
+    Alcotest.test_case "cil exhaustive safety" `Slow test_cil_exhaustive_safety;
+    Alcotest.test_case "tas-consensus exhaustive" `Quick test_tas_consensus_exhaustive;
+    Alcotest.test_case "abortable consensus is register-only" `Quick
+      test_abortable_consensus_register_only;
+  ]

@@ -1,0 +1,136 @@
+(* Reproduction findings: deterministic regressions documenting where the
+   paper's claims need qualification. See DESIGN.md ("Findings") and the
+   A1 interface documentation.
+
+   F-1. For n >= 4 the composed A1∘A2 algorithm (verbatim Algorithm 1 + 2)
+        admits crash-free executions that are NOT linearizable in the
+        strict Herlihy–Wing sense: a loser can commit before any eventual
+        winner candidate is invoked. The executions still satisfy the
+        paper's own correctness notion — a valid Definition 2
+        interpretation exists — and winner uniqueness is never violated.
+
+   F-2. Invariant 4 of the Lemma 4 proof ("no operation that aborts with W
+        may start after an operation commits loser") is falsified by the
+        same executions, already at the level of module A1 alone.
+
+   F-3. The strict variant (losing only after observing V = 1) restores
+        strict linearizability, at the price of weakening the fast path's
+        progress from step-contention-freedom to interval-contention-
+        freedom. *)
+
+open Scs_spec
+open Scs_history
+open Scs_sim
+open Scs_composable
+open Scs_workload
+
+(* Deterministic seeds found by search; reproducibility is guaranteed by
+   the SplitMix64 streams. *)
+let counterexample_seeds = [ (4, 1978); (5, 456); (5, 826) ]
+
+let test_f1_composed_not_strictly_linearizable () =
+  let confirmed = ref 0 in
+  List.iter
+    (fun (n, seed) ->
+      let r = Tas_run.one_shot ~seed ~n ~algo:Tas_run.Composed ~policy:Policy.random () in
+      let ops = Trace.operations r.Tas_run.outer in
+      if not (Tas_lin.check_one_shot ops) then begin
+        incr confirmed;
+        (* cross-validate with the generic Wing–Gong checker *)
+        Alcotest.(check bool) "generic checker agrees" false
+          (Linearize.check_operations Objects.tas ops);
+        (* the paper's own correctness notion still holds *)
+        (match Tas_interp.check_events r.Tas_run.outer with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "interpretation should exist: %s" e);
+        (* and winner uniqueness is intact *)
+        Alcotest.(check int) "one winner" 1 (List.length (Tas_run.winners r))
+      end)
+    counterexample_seeds;
+  Alcotest.(check bool) "counterexamples reproduced" true (!confirmed >= 2)
+
+let test_f1_strict_fixes_the_seeds () =
+  List.iter
+    (fun (n, seed) ->
+      let r = Tas_run.one_shot ~seed ~n ~algo:Tas_run.Strict ~policy:Policy.random () in
+      let ops = Trace.operations r.Tas_run.outer in
+      Alcotest.(check bool)
+        (Printf.sprintf "strict linearizable at n=%d seed=%d" n seed)
+        true (Tas_lin.check_one_shot ops))
+    counterexample_seeds
+
+let test_f2_invariant4_fails_at_n4 () =
+  (* module A1 alone: find an execution where a W-abort is invoked after a
+     loser committed *)
+  let violated = ref false in
+  let seed = ref 0 in
+  while (not !violated) && !seed < 3000 do
+    incr seed;
+    let sim = Sim.create ~n:4 () in
+    let module P = (val Scs_prims.Sim_prims.make sim) in
+    let module A1 = Scs_tas.A1.Make (P) in
+    let a1 = A1.create ~name:"a1" () in
+    let tr = Trace.create ~clock:(fun () -> Sim.clock sim) () in
+    for pid = 0 to 3 do
+      Sim.spawn sim pid (fun () ->
+          let req = Request.make pid Objects.Test_and_set in
+          Trace.invoke tr ~pid req;
+          match A1.apply a1 ~pid None with
+          | Outcome.Commit r -> Trace.commit tr ~pid req r
+          | Outcome.Abort v -> Trace.abort tr ~pid req v)
+    done;
+    Sim.run sim (Policy.random (Scs_util.Rng.create !seed));
+    let ops = Trace.operations (Trace.events tr) in
+    let resp_seq (o : _ Trace.operation) =
+      match o.Trace.outcome with
+      | Trace.Committed { resp_seq; _ } | Trace.Aborted { resp_seq; _ } -> resp_seq
+      | Trace.Pending -> max_int
+    in
+    let losers =
+      List.filter
+        (fun (o : _ Trace.operation) ->
+          match o.Trace.outcome with
+          | Trace.Committed { resp = Objects.Loser; _ } -> true
+          | _ -> false)
+        ops
+    in
+    let first_loser = List.fold_left (fun m o -> min m (resp_seq o)) max_int losers in
+    List.iter
+      (fun (o : _ Trace.operation) ->
+        match o.Trace.outcome with
+        | Trace.Aborted { switch = Tas_switch.W; _ } when o.Trace.invoke_seq > first_loser ->
+            violated := true
+        | _ -> ())
+      ops
+  done;
+  Alcotest.(check bool) "Invariant 4 violated in some 4-process execution" true !violated
+
+let test_f3_strict_still_fast_solo () =
+  (* the fix must not change the uncontended cost profile *)
+  let r = Tas_run.one_shot ~n:4 ~algo:Tas_run.Strict ~policy:(fun _ -> Policy.solo 0) () in
+  match r.Tas_run.ops with
+  | [ op ] ->
+      Alcotest.(check bool) "winner" true (op.Tas_run.resp = Objects.Winner);
+      Alcotest.(check int) "nine steps" 9 op.Tas_run.steps;
+      Alcotest.(check int) "no RMW" 0 op.Tas_run.rmws
+  | _ -> Alcotest.fail "expected one op"
+
+let test_f3_strict_sequential_all_fast () =
+  let r = Tas_run.one_shot ~n:6 ~algo:Tas_run.Strict ~policy:(fun _ -> Policy.sequential ()) () in
+  Alcotest.(check int) "one winner" 1 (List.length (Tas_run.winners r));
+  List.iter
+    (fun (op : Tas_run.op_record) ->
+      Alcotest.(check int) "no rmw sequentially" 0 op.Tas_run.rmws)
+    r.Tas_run.ops
+
+let tests =
+  [
+    Alcotest.test_case "F-1: composed not strictly linearizable (n>=4)" `Quick
+      test_f1_composed_not_strictly_linearizable;
+    Alcotest.test_case "F-1: strict variant fixes the counterexamples" `Quick
+      test_f1_strict_fixes_the_seeds;
+    Alcotest.test_case "F-2: Invariant 4 fails at n=4" `Quick test_f2_invariant4_fails_at_n4;
+    Alcotest.test_case "F-3: strict keeps solo cost" `Quick test_f3_strict_still_fast_solo;
+    Alcotest.test_case "F-3: strict sequential register-only" `Quick
+      test_f3_strict_sequential_all_fast;
+  ]

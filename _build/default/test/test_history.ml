@@ -1,0 +1,351 @@
+(* Tests for traces, the generic linearizability checker, the specialised
+   TAS checker (cross-validated by property tests), and the Abstract
+   property checker. *)
+
+open Scs_spec
+open Scs_history
+
+let treq id = Request.make id Objects.Test_and_set
+
+(* Build a Trace.operation directly. *)
+let comp ~pid ~id ~inv ~res resp =
+  {
+    Trace.op_pid = pid;
+    op_req = treq id;
+    invoke_seq = inv;
+    invoke_ts = inv;
+    op_init = None;
+    outcome = Trace.Committed { resp; resp_seq = res; resp_ts = res };
+  }
+
+let pend ~pid ~id ~inv =
+  {
+    Trace.op_pid = pid;
+    op_req = treq id;
+    invoke_seq = inv;
+    invoke_ts = inv;
+    op_init = None;
+    outcome = Trace.Pending;
+  }
+
+(* --- generic checker ----------------------------------------------- *)
+
+let test_lin_single_winner () =
+  let ops = [ comp ~pid:0 ~id:1 ~inv:0 ~res:1 Objects.Winner ] in
+  Alcotest.(check bool) "winner alone" true (Linearize.check_operations Objects.tas ops)
+
+let test_lin_single_loser_rejected () =
+  let ops = [ comp ~pid:0 ~id:1 ~inv:0 ~res:1 Objects.Loser ] in
+  Alcotest.(check bool) "lone loser impossible" false
+    (Linearize.check_operations Objects.tas ops)
+
+let test_lin_loser_explained_by_pending () =
+  let ops = [ pend ~pid:1 ~id:2 ~inv:0; comp ~pid:0 ~id:1 ~inv:1 ~res:2 Objects.Loser ] in
+  Alcotest.(check bool) "pending explains loser" true
+    (Linearize.check_operations Objects.tas ops)
+
+let test_lin_pending_too_late () =
+  (* the only winner candidate is invoked after the loser completed *)
+  let ops = [ comp ~pid:0 ~id:1 ~inv:0 ~res:1 Objects.Loser; pend ~pid:1 ~id:2 ~inv:2 ] in
+  Alcotest.(check bool) "pending after response cannot explain" false
+    (Linearize.check_operations Objects.tas ops)
+
+let test_lin_two_winners_rejected () =
+  let ops =
+    [
+      comp ~pid:0 ~id:1 ~inv:0 ~res:2 Objects.Winner;
+      comp ~pid:1 ~id:2 ~inv:1 ~res:3 Objects.Winner;
+    ]
+  in
+  Alcotest.(check bool) "two winners" false (Linearize.check_operations Objects.tas ops)
+
+let test_lin_winner_after_loser_rejected () =
+  (* loser completes strictly before the winner is invoked *)
+  let ops =
+    [
+      comp ~pid:0 ~id:1 ~inv:0 ~res:1 Objects.Loser;
+      comp ~pid:1 ~id:2 ~inv:2 ~res:3 Objects.Winner;
+    ]
+  in
+  Alcotest.(check bool) "winner invoked after loser done" false
+    (Linearize.check_operations Objects.tas ops)
+
+let test_lin_sequential_ok () =
+  let ops =
+    [
+      comp ~pid:0 ~id:1 ~inv:0 ~res:1 Objects.Winner;
+      comp ~pid:1 ~id:2 ~inv:2 ~res:3 Objects.Loser;
+      comp ~pid:2 ~id:3 ~inv:4 ~res:5 Objects.Loser;
+    ]
+  in
+  Alcotest.(check bool) "sequential run" true (Linearize.check_operations Objects.tas ops)
+
+let test_lin_queue () =
+  let q id p = Request.make id p in
+  let mk ~id ~inv ~res req resp =
+    {
+      Trace.op_pid = 0;
+      op_req = q id req;
+      invoke_seq = inv;
+      invoke_ts = inv;
+      op_init = None;
+      outcome = Trace.Committed { resp; resp_seq = res; resp_ts = res };
+    }
+  in
+  (* concurrent enqueues, then dequeues observing either order *)
+  let ops =
+    [
+      mk ~id:1 ~inv:0 ~res:3 (Objects.Enqueue 1) Objects.Q_ok;
+      mk ~id:2 ~inv:1 ~res:2 (Objects.Enqueue 2) Objects.Q_ok;
+      mk ~id:3 ~inv:4 ~res:5 Objects.Dequeue (Objects.Q_dequeued (Some 2));
+      mk ~id:4 ~inv:6 ~res:7 Objects.Dequeue (Objects.Q_dequeued (Some 1));
+    ]
+  in
+  Alcotest.(check bool) "queue lin ok" true (Linearize.check_operations Objects.queue ops);
+  let bad =
+    [
+      mk ~id:1 ~inv:0 ~res:1 (Objects.Enqueue 1) Objects.Q_ok;
+      mk ~id:2 ~inv:2 ~res:3 (Objects.Enqueue 2) Objects.Q_ok;
+      (* sequential enqueues: dequeue must see 1 first *)
+      mk ~id:3 ~inv:4 ~res:5 Objects.Dequeue (Objects.Q_dequeued (Some 2));
+    ]
+  in
+  Alcotest.(check bool) "queue order violation" false
+    (Linearize.check_operations Objects.queue bad)
+
+let test_lin_register () =
+  let mk ~id ~inv ~res req resp =
+    {
+      Trace.op_pid = 0;
+      op_req = Request.make id req;
+      invoke_seq = inv;
+      invoke_ts = inv;
+      op_init = None;
+      outcome = Trace.Committed { resp; resp_seq = res; resp_ts = res };
+    }
+  in
+  let ops =
+    [
+      mk ~id:1 ~inv:0 ~res:1 (Objects.Reg_write 5) Objects.Reg_ok;
+      mk ~id:2 ~inv:2 ~res:3 Objects.Reg_read (Objects.Reg_value 5);
+    ]
+  in
+  Alcotest.(check bool) "register ok" true (Linearize.check_operations Objects.register ops);
+  let bad =
+    [
+      mk ~id:1 ~inv:0 ~res:1 (Objects.Reg_write 5) Objects.Reg_ok;
+      mk ~id:2 ~inv:2 ~res:3 Objects.Reg_read (Objects.Reg_value 7);
+    ]
+  in
+  Alcotest.(check bool) "stale read rejected" false
+    (Linearize.check_operations Objects.register bad)
+
+(* --- TAS fast checker cross-validation ------------------------------ *)
+
+let build_ops choices =
+  (* interpret an int list as an interleaved trace builder *)
+  let seq = ref 0 in
+  let next () =
+    incr seq;
+    !seq
+  in
+  let fresh = ref 0 in
+  let open_ops = ref [] in
+  let closed = ref [] in
+  List.iter
+    (fun c ->
+      let c = abs c in
+      match (c mod 3, !open_ops) with
+      | 0, _ | _, [] ->
+          incr fresh;
+          open_ops := (!fresh, next ()) :: !open_ops
+      | 1, (id, inv) :: rest ->
+          open_ops := rest;
+          let resp = if c / 3 mod 2 = 0 then Objects.Winner else Objects.Loser in
+          closed := comp ~pid:id ~id ~inv ~res:(next ()) resp :: !closed
+      | _, ops ->
+          (* close the oldest open op *)
+          let (id, inv), rest =
+            match List.rev ops with
+            | last :: r -> (last, List.rev r)
+            | [] -> assert false
+          in
+          open_ops := rest;
+          let resp = if c / 3 mod 2 = 0 then Objects.Winner else Objects.Loser in
+          closed := comp ~pid:id ~id ~inv ~res:(next ()) resp :: !closed)
+    choices;
+  let pending = List.map (fun (id, inv) -> pend ~pid:id ~id ~inv) !open_ops in
+  List.rev !closed @ pending
+
+let prop_tas_checker_agrees =
+  QCheck.Test.make ~count:2000 ~name:"Tas_lin agrees with Wing-Gong"
+    QCheck.(list_of_size Gen.(int_range 0 12) small_int)
+    (fun choices ->
+      let ops = build_ops choices in
+      Tas_lin.check_one_shot ops = Linearize.check_operations Objects.tas ops)
+
+(* --- Abstract property checker -------------------------------------- *)
+
+let areq id = Request.make id ()
+
+let test_abstract_good_trace () =
+  let r1 = areq 1 and r2 = areq 2 in
+  let evs =
+    [
+      Abstract_check.Invoke { seq = 0; pid = 0; req = r1 };
+      Abstract_check.Invoke { seq = 1; pid = 1; req = r2 };
+      Abstract_check.Commit { seq = 2; pid = 0; req = r1; hist = [ r1 ] };
+      Abstract_check.Commit { seq = 3; pid = 1; req = r2; hist = [ r1; r2 ] };
+    ]
+  in
+  Alcotest.(check bool) "good" true (Abstract_check.is_ok evs)
+
+let test_abstract_commit_order_violation () =
+  let r1 = areq 1 and r2 = areq 2 in
+  let evs =
+    [
+      Abstract_check.Invoke { seq = 0; pid = 0; req = r1 };
+      Abstract_check.Invoke { seq = 1; pid = 1; req = r2 };
+      Abstract_check.Commit { seq = 2; pid = 0; req = r1; hist = [ r1 ] };
+      Abstract_check.Commit { seq = 3; pid = 1; req = r2; hist = [ r2 ] };
+    ]
+  in
+  Alcotest.(check bool) "prefix violation" false (Abstract_check.is_ok evs)
+
+let test_abstract_abort_ordering_violation () =
+  let r1 = areq 1 and r2 = areq 2 in
+  let evs =
+    [
+      Abstract_check.Invoke { seq = 0; pid = 0; req = r1 };
+      Abstract_check.Invoke { seq = 1; pid = 1; req = r2 };
+      Abstract_check.Commit { seq = 2; pid = 0; req = r1; hist = [ r1; r2 ] };
+      Abstract_check.Abort { seq = 3; pid = 1; req = r2; hist = [ r2 ] };
+    ]
+  in
+  Alcotest.(check bool) "commit not prefix of abort" false (Abstract_check.is_ok evs)
+
+let test_abstract_validity_dup () =
+  let r1 = areq 1 in
+  let evs =
+    [
+      Abstract_check.Invoke { seq = 0; pid = 0; req = r1 };
+      Abstract_check.Commit { seq = 1; pid = 0; req = r1; hist = [ r1; r1 ] };
+    ]
+  in
+  Alcotest.(check bool) "dup in history" false (Abstract_check.is_ok evs)
+
+let test_abstract_validity_uninvoked () =
+  let r1 = areq 1 and ghost = areq 99 in
+  let evs =
+    [
+      Abstract_check.Invoke { seq = 0; pid = 0; req = r1 };
+      Abstract_check.Commit { seq = 1; pid = 0; req = r1; hist = [ ghost; r1 ] };
+    ]
+  in
+  Alcotest.(check bool) "uninvoked request" false (Abstract_check.is_ok evs);
+  Alcotest.(check bool) "also rejected globally" false
+    (Abstract_check.is_ok ~validity:Abstract_check.Global evs)
+
+let test_abstract_validity_timing_modes () =
+  let r1 = areq 1 and r2 = areq 2 in
+  (* r2 appears in r1's commit history but is invoked later *)
+  let evs =
+    [
+      Abstract_check.Invoke { seq = 0; pid = 0; req = r1 };
+      Abstract_check.Commit { seq = 1; pid = 0; req = r1; hist = [ r1; r2 ] };
+      Abstract_check.Invoke { seq = 2; pid = 1; req = r2 };
+      Abstract_check.Commit { seq = 3; pid = 1; req = r2; hist = [ r1; r2 ] };
+    ]
+  in
+  Alcotest.(check bool) "strict rejects" false (Abstract_check.is_ok evs);
+  Alcotest.(check bool) "global accepts" true
+    (Abstract_check.is_ok ~validity:Abstract_check.Global evs)
+
+let test_abstract_missing_own_request () =
+  let r1 = areq 1 and r2 = areq 2 in
+  let evs =
+    [
+      Abstract_check.Invoke { seq = 0; pid = 0; req = r1 };
+      Abstract_check.Invoke { seq = 1; pid = 1; req = r2 };
+      Abstract_check.Commit { seq = 2; pid = 1; req = r2; hist = [ r1 ] };
+    ]
+  in
+  Alcotest.(check bool) "history misses own request" false (Abstract_check.is_ok evs)
+
+let test_abstract_init_ordering () =
+  let r1 = areq 1 and r2 = areq 2 in
+  let evs_ok =
+    [
+      Abstract_check.Init { seq = 0; pid = 0; req = r1; hist = [ r1 ] };
+      Abstract_check.Commit { seq = 1; pid = 0; req = r1; hist = [ r1 ] };
+      Abstract_check.Init { seq = 2; pid = 1; req = r2; hist = [ r1 ] };
+      Abstract_check.Commit { seq = 3; pid = 1; req = r2; hist = [ r1; r2 ] };
+    ]
+  in
+  Alcotest.(check bool) "init ordering ok" true (Abstract_check.is_ok evs_ok);
+  let evs_bad =
+    [
+      Abstract_check.Init { seq = 0; pid = 0; req = r1; hist = [ r1; r2 ] };
+      Abstract_check.Invoke { seq = 1; pid = 1; req = r2 };
+      Abstract_check.Commit { seq = 2; pid = 0; req = r1; hist = [ r1 ] };
+    ]
+  in
+  Alcotest.(check bool) "init not prefix of commit" false (Abstract_check.is_ok evs_bad)
+
+(* --- Trace recorder --------------------------------------------------- *)
+
+let test_trace_operations_pairing () =
+  let tr : (unit, string, int) Trace.t = Trace.create () in
+  let r1 = Request.make 1 () and r2 = Request.make 2 () in
+  Trace.invoke tr ~pid:0 r1;
+  Trace.init tr ~pid:1 r2 7;
+  Trace.commit tr ~pid:0 r1 "ok";
+  Trace.abort tr ~pid:1 r2 9;
+  let ops = Trace.operations (Trace.events tr) in
+  Alcotest.(check int) "two ops" 2 (List.length ops);
+  let o1 = List.nth ops 0 and o2 = List.nth ops 1 in
+  Alcotest.(check bool) "o1 committed" true
+    (match o1.Trace.outcome with Trace.Committed { resp = "ok"; _ } -> true | _ -> false);
+  Alcotest.(check bool) "o2 init" true (o2.Trace.op_init = Some 7);
+  Alcotest.(check bool) "o2 aborted with 9" true
+    (match o2.Trace.outcome with Trace.Aborted { switch = 9; _ } -> true | _ -> false)
+
+let test_trace_malformed () =
+  let tr : (unit, string, int) Trace.t = Trace.create () in
+  let r1 = Request.make 1 () in
+  Trace.commit tr ~pid:0 r1 "oops";
+  (try
+     ignore (Trace.operations (Trace.events tr));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  let tr2 : (unit, string, int) Trace.t = Trace.create () in
+  Trace.invoke tr2 ~pid:0 r1;
+  Trace.invoke tr2 ~pid:1 r1;
+  try
+    ignore (Trace.operations (Trace.events tr2));
+    Alcotest.fail "expected Invalid_argument on double invoke"
+  with Invalid_argument _ -> ()
+
+let tests =
+  [
+    Alcotest.test_case "lin: single winner" `Quick test_lin_single_winner;
+    Alcotest.test_case "lin: lone loser rejected" `Quick test_lin_single_loser_rejected;
+    Alcotest.test_case "lin: pending explains loser" `Quick test_lin_loser_explained_by_pending;
+    Alcotest.test_case "lin: pending too late" `Quick test_lin_pending_too_late;
+    Alcotest.test_case "lin: two winners rejected" `Quick test_lin_two_winners_rejected;
+    Alcotest.test_case "lin: winner after loser" `Quick test_lin_winner_after_loser_rejected;
+    Alcotest.test_case "lin: sequential" `Quick test_lin_sequential_ok;
+    Alcotest.test_case "lin: queue" `Quick test_lin_queue;
+    Alcotest.test_case "lin: register" `Quick test_lin_register;
+    QCheck_alcotest.to_alcotest prop_tas_checker_agrees;
+    Alcotest.test_case "abstract: good trace" `Quick test_abstract_good_trace;
+    Alcotest.test_case "abstract: commit order" `Quick test_abstract_commit_order_violation;
+    Alcotest.test_case "abstract: abort ordering" `Quick test_abstract_abort_ordering_violation;
+    Alcotest.test_case "abstract: dup validity" `Quick test_abstract_validity_dup;
+    Alcotest.test_case "abstract: uninvoked validity" `Quick test_abstract_validity_uninvoked;
+    Alcotest.test_case "abstract: validity timing modes" `Quick test_abstract_validity_timing_modes;
+    Alcotest.test_case "abstract: missing own request" `Quick test_abstract_missing_own_request;
+    Alcotest.test_case "abstract: init ordering" `Quick test_abstract_init_ordering;
+    Alcotest.test_case "trace: operation pairing" `Quick test_trace_operations_pairing;
+    Alcotest.test_case "trace: malformed" `Quick test_trace_malformed;
+  ]

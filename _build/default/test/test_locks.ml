@@ -1,0 +1,110 @@
+(* Locks built on the TAS objects: mutual exclusion on the simulator, and
+   the biased-lock cost profile (registers only while uncontended). *)
+
+open Scs_sim
+
+let test_ttas_mutual_exclusion () =
+  for seed = 1 to 40 do
+    let n = 3 in
+    let sim = Sim.create ~max_steps:200_000 ~n () in
+    let module P = (val Scs_prims.Sim_prims.make sim) in
+    let module L = Scs_tas.Locks.Make (P) in
+    let lock = L.Ttas.create ~name:"l" () in
+    let in_cs = ref 0 in
+    let max_in_cs = ref 0 in
+    let shared = Sim.reg sim ~name:"shared" 0 in
+    for pid = 0 to n - 1 do
+      Sim.spawn sim pid (fun () ->
+          for _ = 1 to 3 do
+            L.Ttas.acquire lock;
+            incr in_cs;
+            if !in_cs > !max_in_cs then max_in_cs := !in_cs;
+            (* a critical section of two memory steps *)
+            let v = Sim.read shared in
+            Sim.write shared (v + 1);
+            decr in_cs;
+            L.Ttas.release lock
+          done)
+    done;
+    Sim.run sim (Policy.random (Scs_util.Rng.create seed));
+    Alcotest.(check int) (Printf.sprintf "mutual exclusion at seed %d" seed) 1 !max_in_cs
+  done
+
+let test_ttas_try_acquire () =
+  let sim = Sim.create ~n:1 () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module L = Scs_tas.Locks.Make (P) in
+  let lock = L.Ttas.create ~name:"l" () in
+  let r = ref [] in
+  Sim.spawn sim 0 (fun () ->
+      r := L.Ttas.try_acquire lock :: !r;
+      r := L.Ttas.try_acquire lock :: !r;
+      L.Ttas.release lock;
+      r := L.Ttas.try_acquire lock :: !r);
+  Sim.run sim (Policy.round_robin ());
+  Alcotest.(check (list bool)) "try semantics" [ true; false; true ] !r
+
+let test_speculative_lock_mutual_exclusion () =
+  for seed = 1 to 40 do
+    let n = 3 in
+    let sim = Sim.create ~max_steps:400_000 ~n () in
+    let module P = (val Scs_prims.Sim_prims.make sim) in
+    let module L = Scs_tas.Locks.Make (P) in
+    let lock = L.Speculative.create ~name:"l" ~rounds:64 () in
+    let in_cs = ref 0 in
+    let violations = ref 0 in
+    for pid = 0 to n - 1 do
+      Sim.spawn sim pid (fun () ->
+          let h = L.Speculative.handle lock ~pid in
+          for _ = 1 to 3 do
+            L.Speculative.acquire h;
+            incr in_cs;
+            if !in_cs > 1 then incr violations;
+            Sim.pause sim;
+            decr in_cs;
+            L.Speculative.release h
+          done)
+    done;
+    Sim.run sim (Policy.random (Scs_util.Rng.create seed));
+    Alcotest.(check int) (Printf.sprintf "mutual exclusion at seed %d" seed) 0 !violations
+  done
+
+let test_speculative_lock_uncontended_no_rmw () =
+  (* the biased-lock claim: a lone owner never touches an RMW object *)
+  let sim = Sim.create ~n:1 () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module L = Scs_tas.Locks.Make (P) in
+  let lock = L.Speculative.create ~name:"l" ~rounds:32 () in
+  Sim.spawn sim 0 (fun () ->
+      let h = L.Speculative.handle lock ~pid:0 in
+      for _ = 1 to 10 do
+        L.Speculative.acquire h;
+        L.Speculative.release h
+      done);
+  Sim.run sim (Policy.round_robin ());
+  Alcotest.(check int) "no RMW when uncontended" 0 (Sim.rmws_of sim 0)
+
+let test_ttas_uncontended_pays_rmw () =
+  (* the baseline comparison: TTAS pays one AWAR per acquisition *)
+  let sim = Sim.create ~n:1 () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module L = Scs_tas.Locks.Make (P) in
+  let lock = L.Ttas.create ~name:"l" () in
+  Sim.spawn sim 0 (fun () ->
+      for _ = 1 to 10 do
+        L.Ttas.acquire lock;
+        L.Ttas.release lock
+      done);
+  Sim.run sim (Policy.round_robin ());
+  Alcotest.(check int) "one RMW per acquire" 10 (Sim.rmws_of sim 0)
+
+let tests =
+  [
+    Alcotest.test_case "ttas mutual exclusion" `Quick test_ttas_mutual_exclusion;
+    Alcotest.test_case "ttas try_acquire" `Quick test_ttas_try_acquire;
+    Alcotest.test_case "speculative lock mutual exclusion" `Quick
+      test_speculative_lock_mutual_exclusion;
+    Alcotest.test_case "speculative lock: no RMW uncontended" `Quick
+      test_speculative_lock_uncontended_no_rmw;
+    Alcotest.test_case "ttas: RMW per acquire" `Quick test_ttas_uncontended_pays_rmw;
+  ]

@@ -1,0 +1,169 @@
+(* Verification of the long-lived resettable test-and-set (Algorithm 2,
+   Theorem 4): round-by-round linearizability, unique winner per round,
+   well-formed reset behaviour, and the Figure 1 back edge (reset returns
+   the object to the speculative module). *)
+
+open Scs_spec
+open Scs_history
+open Scs_sim
+open Scs_workload
+
+let test_rounds_unique_winner () =
+  for seed = 1 to 60 do
+    let r = Tas_run.long_lived ~seed ~n:4 ~ops_per_proc:4 ~policy:Policy.random () in
+    let per_round = Hashtbl.create 8 in
+    List.iter
+      (fun (op : Tas_run.op_record) ->
+        if op.Tas_run.resp = Objects.Winner then begin
+          let c = Option.value ~default:0 (Hashtbl.find_opt per_round op.Tas_run.round) in
+          Hashtbl.replace per_round op.Tas_run.round (c + 1)
+        end)
+      r.Tas_run.ops;
+    Hashtbl.iter
+      (fun round w ->
+        if w > 1 then Alcotest.failf "round %d has %d winners at seed %d" round w seed)
+      per_round
+  done
+
+let test_rounds_linearizable_strict () =
+  (* a round accumulates up to n*ops participants (losers retry in the
+     same round), so the Finding F-1 counterexample is reachable even at
+     n = 3 for the paper-faithful variant; the strict variant must be
+     linearizable round by round *)
+  for seed = 1 to 60 do
+    let r = Tas_run.long_lived ~strict:true ~seed ~n:4 ~ops_per_proc:4 ~policy:Policy.random () in
+    if not (Tas_lin.check_long_lived ~rounds:(Tas_run.rounds_of r)) then
+      Alcotest.failf "strict long-lived run not linearizable at seed %d" seed
+  done
+
+let test_rounds_paper_variant_can_violate () =
+  (* documents Finding F-1 at the long-lived level *)
+  let violated = ref false in
+  for seed = 1 to 60 do
+    let r = Tas_run.long_lived ~seed ~n:3 ~ops_per_proc:4 ~policy:Policy.random () in
+    if not (Tas_lin.check_long_lived ~rounds:(Tas_run.rounds_of r)) then violated := true
+  done;
+  Alcotest.(check bool) "paper variant violates strict linearizability" true !violated
+
+let test_round_advances_only_on_win () =
+  let r = Tas_run.long_lived ~n:3 ~ops_per_proc:3 ~policy:(fun _ -> Policy.sequential ()) () in
+  (* sequential: p0 wins round 0, resets; wins round 1, resets; ... then
+     p1 wins rounds 3.., etc. Every op's round must equal the number of
+     wins recorded before it. *)
+  let wins = ref 0 in
+  List.iter
+    (fun (op : Tas_run.op_record) ->
+      Alcotest.(check int) "round = wins so far" !wins op.Tas_run.round;
+      if op.Tas_run.resp = Objects.Winner then incr wins)
+    r.Tas_run.ops;
+  Alcotest.(check int) "every op won sequentially" 9 !wins
+
+let test_reset_by_loser_is_noop () =
+  let sim = Sim.create ~n:2 () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module LL = Scs_tas.Long_lived.Make (P) in
+  let ll = LL.create ~name:"ll" ~rounds:4 () in
+  let rounds_seen = ref [] in
+  Sim.spawn sim 0 (fun () ->
+      let h = LL.handle ll ~pid:0 in
+      let resp, _, round = LL.test_and_set_info h in
+      rounds_seen := (0, round, resp) :: !rounds_seen;
+      LL.reset h;
+      (* winner reset: round advances *)
+      let _, _, round' = LL.test_and_set_info h in
+      rounds_seen := (0, round', Objects.Loser) :: !rounds_seen);
+  Sim.spawn sim 1 (fun () ->
+      let h = LL.handle ll ~pid:1 in
+      let resp, _, round = LL.test_and_set_info h in
+      rounds_seen := (1, round, resp) :: !rounds_seen;
+      (* loser reset must not advance the round *)
+      LL.reset h;
+      let _, _, round' = LL.test_and_set_info h in
+      rounds_seen := (1, round', Objects.Loser) :: !rounds_seen);
+  Sim.run sim (Policy.sequential ());
+  match List.rev !rounds_seen with
+  | [ (0, 0, Objects.Winner); (0, 1, _); (1, 1, w1); (1, r1', _) ] ->
+      (* p1 participates in round 1 (p0 won round 0 and reset, then p0's
+         second op won round 1); p1 loses and its reset is a no-op *)
+      Alcotest.(check bool) "p1 lost round 1" true (w1 = Objects.Loser);
+      Alcotest.(check int) "loser reset no-op" 1 r1'
+  | _ -> Alcotest.fail "unexpected round structure"
+
+let test_back_edge_to_speculation () =
+  (* after the hardware module was used under contention, a reset brings
+     the next round back to the register-only fast path *)
+  let sim = Sim.create ~n:2 () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module LL = Scs_tas.Long_lived.Make (P) in
+  let ll = LL.create ~name:"ll" ~rounds:8 () in
+  let stages = ref [] in
+  (* interleave two processes tightly so round 0 falls back to hardware *)
+  Sim.spawn sim 0 (fun () ->
+      let h = LL.handle ll ~pid:0 in
+      let resp, stage, round = LL.test_and_set_info h in
+      stages := (round, stage, resp) :: !stages;
+      if resp = Objects.Winner then LL.reset h;
+      let resp2, stage2, round2 = LL.test_and_set_info h in
+      stages := (round2, stage2, resp2) :: !stages;
+      if resp2 = Objects.Winner then LL.reset h);
+  Sim.spawn sim 1 (fun () ->
+      let h = LL.handle ll ~pid:1 in
+      let resp, stage, round = LL.test_and_set_info h in
+      stages := (round, stage, resp) :: !stages);
+  (* strict alternation long enough to force interference in round 0 *)
+  Sim.run sim
+    (Policy.scripted_then
+       [| 0; 1; 0; 1; 0; 1; 0; 1; 0; 1; 0; 1; 0; 1; 0; 1 |]
+       (Policy.sequential ()));
+  let fell_back_round0 =
+    List.exists (fun (r, s, _) -> r = 0 && s = Scs_tas.One_shot.Fallback) !stages
+  in
+  let fast_later =
+    List.exists (fun (r, s, _) -> r > 0 && s = Scs_tas.One_shot.Fast) !stages
+  in
+  Alcotest.(check bool) "round 0 used hardware" true fell_back_round0;
+  Alcotest.(check bool) "later round back on registers" true fast_later
+
+let test_uncontended_cycle_cost_constant () =
+  (* winner's TAS + reset cycle cost is constant and RMW-free when alone *)
+  let r = Tas_run.long_lived ~n:1 ~ops_per_proc:8 ~policy:(fun _ -> Policy.sequential ()) () in
+  List.iter
+    (fun (op : Tas_run.op_record) ->
+      Alcotest.(check bool) "winner" true (op.Tas_run.resp = Objects.Winner);
+      Alcotest.(check int) "rmw-free" 0 op.Tas_run.rmws;
+      (* count read + 9 A1 steps *)
+      Alcotest.(check int) "constant steps" 10 op.Tas_run.steps)
+    r.Tas_run.ops
+
+let test_crashed_winner_blocks_round_but_safety_holds () =
+  (* if the winner crashes before resetting, the round never advances;
+     remaining processes keep losing (liveness of reset is the winner's
+     obligation — well-formedness), but safety is preserved *)
+  let r =
+    Tas_run.long_lived ~n:3 ~ops_per_proc:2
+      ~crashes:[ (0, 12) ]
+      ~policy:(fun _ -> Policy.sequential ())
+      ()
+  in
+  let winners = List.filter (fun (o : Tas_run.op_record) -> o.Tas_run.resp = Objects.Winner) r.Tas_run.ops in
+  let winner_rounds = List.map (fun (o : Tas_run.op_record) -> o.Tas_run.round) winners in
+  let sorted = List.sort_uniq compare winner_rounds in
+  Alcotest.(check int) "one winner per round" (List.length winner_rounds) (List.length sorted);
+  Alcotest.(check bool) "rounds linearizable" true
+    (Tas_lin.check_long_lived ~rounds:(Tas_run.rounds_of r))
+
+let tests =
+  [
+    Alcotest.test_case "unique winner per round" `Quick test_rounds_unique_winner;
+    Alcotest.test_case "rounds linearizable (strict)" `Quick test_rounds_linearizable_strict;
+    Alcotest.test_case "paper variant can violate (F-1)" `Quick
+      test_rounds_paper_variant_can_violate;
+    Alcotest.test_case "round advances only on win" `Quick test_round_advances_only_on_win;
+    Alcotest.test_case "loser reset is no-op" `Quick test_reset_by_loser_is_noop;
+    Alcotest.test_case "reset returns to speculation (Fig 1 back edge)" `Quick
+      test_back_edge_to_speculation;
+    Alcotest.test_case "uncontended cycle cost constant" `Quick
+      test_uncontended_cycle_cost_constant;
+    Alcotest.test_case "crashed winner: safety holds" `Quick
+      test_crashed_winner_blocks_round_but_safety_holds;
+  ]

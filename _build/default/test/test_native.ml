@@ -1,0 +1,127 @@
+(* The native OCaml 5 backend: the same algorithm functors running on
+   [Atomic] under real [Domain] parallelism. Safety properties that can be
+   checked without a global clock: winner uniqueness, lock mutual
+   exclusion, counter exactness. *)
+
+open Scs_spec
+module P = Scs_prims.Native_prims
+module OS = Scs_tas.One_shot.Make (P)
+module LL = Scs_tas.Long_lived.Make (P)
+module B = Scs_tas.Baselines.Make (P)
+module L = Scs_tas.Locks.Make (P)
+
+let n_domains = 4
+
+let spawn_all f =
+  let domains = List.init n_domains (fun pid -> Domain.spawn (fun () -> f pid)) in
+  List.map Domain.join domains
+
+let test_one_shot_unique_winner () =
+  for _ = 1 to 50 do
+    let os = OS.create ~name:"t" () in
+    let results = spawn_all (fun pid -> OS.test_and_set os ~pid) in
+    let winners = List.filter (fun r -> r = Objects.Winner) results in
+    Alcotest.(check int) "exactly one winner" 1 (List.length winners)
+  done
+
+let test_one_shot_strict_unique_winner () =
+  for _ = 1 to 50 do
+    let os = OS.create ~strict:true ~name:"t" () in
+    let results = spawn_all (fun pid -> OS.test_and_set os ~pid) in
+    let winners = List.filter (fun r -> r = Objects.Winner) results in
+    Alcotest.(check int) "exactly one winner" 1 (List.length winners)
+  done
+
+let test_long_lived_round_winners () =
+  let iters = 20 in
+  (* every iteration of every domain may win and reset *)
+  let rounds = (n_domains * iters) + 2 in
+  let ll = LL.create ~name:"ll" ~rounds () in
+  let per_round = Array.make rounds 0 in
+  let mutex = Mutex.create () in
+  let _ =
+    spawn_all (fun pid ->
+        let h = LL.handle ll ~pid in
+        for _ = 1 to iters do
+          let resp, _, round = LL.test_and_set_info h in
+          if resp = Objects.Winner then begin
+            Mutex.lock mutex;
+            per_round.(round) <- per_round.(round) + 1;
+            Mutex.unlock mutex;
+            LL.reset h
+          end
+        done)
+  in
+  Array.iteri
+    (fun i w -> if w > 1 then Alcotest.failf "round %d has %d winners" i w)
+    per_round
+
+let test_tournament_unique_winner () =
+  for seed = 1 to 50 do
+    let t = B.Tournament.create ~name:"agtv" ~n:n_domains () in
+    let results =
+      spawn_all (fun pid ->
+          B.Tournament.test_and_set t ~pid ~rng:(Scs_util.Rng.create ((seed * 17) + pid)))
+    in
+    let winners = List.filter (fun r -> r = Objects.Winner) results in
+    Alcotest.(check int) "exactly one winner" 1 (List.length winners)
+  done
+
+let test_speculative_lock_counter () =
+  let lock = L.Speculative.create ~name:"l" ~rounds:100_000 () in
+  let counter = ref 0 in
+  let iters = 300 in
+  let _ =
+    spawn_all (fun pid ->
+        let h = L.Speculative.handle lock ~pid in
+        for _ = 1 to iters do
+          L.Speculative.acquire h;
+          (* non-atomic increment guarded by the lock *)
+          counter := !counter + 1;
+          L.Speculative.release h
+        done)
+  in
+  Alcotest.(check int) "no lost updates" (n_domains * iters) !counter
+
+let test_ttas_lock_counter () =
+  let lock = L.Ttas.create ~name:"l" () in
+  let counter = ref 0 in
+  let iters = 300 in
+  let _ =
+    spawn_all (fun pid ->
+        ignore pid;
+        for _ = 1 to iters do
+          L.Ttas.acquire lock;
+          counter := !counter + 1;
+          L.Ttas.release lock
+        done)
+  in
+  Alcotest.(check int) "no lost updates" (n_domains * iters) !counter
+
+let test_native_prims_semantics () =
+  let t = P.tas_obj ~name:"t" () in
+  Alcotest.(check bool) "first tas wins" true (P.test_and_set t);
+  Alcotest.(check bool) "second loses" false (P.test_and_set t);
+  P.tas_reset t;
+  Alcotest.(check bool) "wins after reset" true (P.test_and_set t);
+  let f = P.fai_obj ~name:"f" 3 in
+  Alcotest.(check int) "fai returns old" 3 (P.fetch_and_inc f);
+  Alcotest.(check int) "fai incremented" 4 (P.fai_read f);
+  let c = P.cas_obj ~name:"c" None in
+  Alcotest.(check bool) "cas succeeds" true (P.compare_and_swap c ~expect:None ~update:(Some 1));
+  Alcotest.(check bool) "cas fails" false (P.compare_and_swap c ~expect:None ~update:(Some 2))
+
+let tests =
+  [
+    Alcotest.test_case "native prims semantics" `Quick test_native_prims_semantics;
+    Alcotest.test_case "one-shot unique winner (4 domains)" `Quick test_one_shot_unique_winner;
+    Alcotest.test_case "strict one-shot unique winner (4 domains)" `Quick
+      test_one_shot_strict_unique_winner;
+    Alcotest.test_case "long-lived round winners (4 domains)" `Quick
+      test_long_lived_round_winners;
+    Alcotest.test_case "tournament unique winner (4 domains)" `Quick
+      test_tournament_unique_winner;
+    Alcotest.test_case "speculative lock counter (4 domains)" `Quick
+      test_speculative_lock_counter;
+    Alcotest.test_case "ttas lock counter (4 domains)" `Quick test_ttas_lock_counter;
+  ]

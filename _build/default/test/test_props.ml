@@ -1,0 +1,280 @@
+(* Property-based tests (qcheck): randomized coverage over process counts,
+   schedules, contention profiles and workloads, complementing the
+   exhaustive and seeded tests. *)
+
+open Scs_spec
+open Scs_history
+open Scs_sim
+open Scs_composable
+open Scs_workload
+
+let gen_n = QCheck.Gen.int_range 2 7
+let gen_seed = QCheck.Gen.int_range 1 1_000_000
+
+(* a schedule policy choice: uniform random or sticky with dialled
+   contention *)
+let gen_policy_choice = QCheck.Gen.int_range 0 10
+
+let policy_of_choice c rng =
+  if c = 0 then Policy.random rng
+  else Policy.sticky rng ~switch_prob:(float_of_int c /. 10.0)
+
+let arbitrary_run =
+  QCheck.make
+    ~print:(fun (n, seed, pc) -> Printf.sprintf "n=%d seed=%d policy=%d" n seed pc)
+    QCheck.Gen.(triple gen_n gen_seed gen_policy_choice)
+
+let prop_strict_linearizable =
+  QCheck.Test.make ~count:300 ~name:"strict composed TAS is linearizable"
+    arbitrary_run
+    (fun (n, seed, pc) ->
+      let r =
+        Tas_run.one_shot ~seed ~n ~algo:Tas_run.Strict ~policy:(policy_of_choice pc) ()
+      in
+      Tas_lin.check_one_shot (Trace.operations r.Tas_run.outer)
+      && List.length (Tas_run.winners r) = 1)
+
+let prop_paper_interpretable =
+  QCheck.Test.make ~count:300
+    ~name:"paper composed TAS admits a valid interpretation, unique winner"
+    arbitrary_run
+    (fun (n, seed, pc) ->
+      let r =
+        Tas_run.one_shot ~seed ~n ~algo:Tas_run.Composed ~policy:(policy_of_choice pc) ()
+      in
+      Tas_interp.is_safely_composable r.Tas_run.outer
+      && Tas_interp.is_safely_composable r.Tas_run.a1
+      && List.length (Tas_run.winners r) = 1)
+
+let prop_solo_fast_linearizable =
+  QCheck.Test.make ~count:300 ~name:"solo-fast TAS is linearizable"
+    arbitrary_run
+    (fun (n, seed, pc) ->
+      let r =
+        Tas_run.one_shot ~seed ~n ~algo:Tas_run.Solo_fast ~policy:(policy_of_choice pc) ()
+      in
+      Tas_lin.check_one_shot (Trace.operations r.Tas_run.outer))
+
+let prop_crashes_preserve_safety =
+  QCheck.Test.make ~count:200 ~name:"crash sets preserve safety (strict)"
+    (QCheck.make
+       ~print:(fun (n, seed, crashes) ->
+         Printf.sprintf "n=%d seed=%d crashes=%s" n seed
+           (String.concat ","
+              (List.map (fun (p, k) -> Printf.sprintf "(%d,%d)" p k) crashes)))
+       QCheck.Gen.(
+         triple gen_n gen_seed
+           (list_size (int_range 0 3) (pair (int_range 0 6) (int_range 1 12)))))
+    (fun (n, seed, crashes) ->
+      let crashes = List.filter (fun (p, _) -> p < n) crashes in
+      let r =
+        Tas_run.one_shot ~seed ~n ~algo:Tas_run.Strict ~crashes ~policy:Policy.random ()
+      in
+      Tas_lin.check_one_shot (Trace.operations r.Tas_run.outer)
+      && List.length (Tas_run.winners r) <= 1)
+
+let prop_consensus_agreement =
+  QCheck.Test.make ~count:200 ~name:"abortable consensus agreement+validity"
+    (QCheck.make
+       ~print:(fun (n, seed, a) -> Printf.sprintf "n=%d seed=%d algo=%d" n seed a)
+       QCheck.Gen.(triple gen_n gen_seed (int_range 0 3)))
+    (fun (n, seed, a) ->
+      let algo =
+        match a with
+        | 0 -> Cons_run.Split
+        | 1 -> Cons_run.Bakery
+        | 2 -> Cons_run.Cas
+        | _ -> Cons_run.Chain3
+      in
+      let r = Cons_run.run ~seed ~n ~algo ~policy:Policy.random () in
+      r.Cons_run.agreement && r.Cons_run.validity)
+
+let prop_splitter_at_most_one_stop =
+  QCheck.Test.make ~count:300 ~name:"splitter: at most one stop"
+    (QCheck.make
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       QCheck.Gen.(pair gen_n gen_seed))
+    (fun (n, seed) ->
+      let sim = Sim.create ~n () in
+      let module P = (val Scs_prims.Sim_prims.make sim) in
+      let module Sp = Scs_consensus.Splitter.Make (P) in
+      let s = Sp.create ~name:"s" () in
+      let stops = ref 0 in
+      for pid = 0 to n - 1 do
+        Sim.spawn sim pid (fun () ->
+            if Sp.split s ~pid = Scs_consensus.Splitter.Stop then incr stops)
+      done;
+      Sim.run sim (Policy.random (Scs_util.Rng.create seed));
+      !stops <= 1)
+
+let prop_snapshot_scans_comparable =
+  QCheck.Test.make ~count:150 ~name:"snapshot scans are totally ordered"
+    (QCheck.make
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       QCheck.Gen.(pair (int_range 2 4) gen_seed))
+    (fun (n, seed) ->
+      let sim = Sim.create ~n () in
+      let module P = (val Scs_prims.Sim_prims.make sim) in
+      let module S = Scs_universal.Snapshot.Make (P) in
+      let s = S.create ~name:"s" ~n ~init:0 in
+      let scans = ref [] in
+      for pid = 0 to n - 1 do
+        Sim.spawn sim pid (fun () ->
+            for k = 1 to 2 do
+              S.update s ~pid k;
+              scans := S.scan s ~pid :: !scans
+            done)
+      done;
+      Sim.run sim (Policy.random (Scs_util.Rng.create seed));
+      let le a b = Array.for_all2 (fun x y -> x <= y) a b in
+      List.for_all (fun a -> List.for_all (fun b -> le a b || le b a) !scans) !scans)
+
+(* metamorphic checks on the history machinery *)
+
+let gen_tas_history =
+  QCheck.Gen.(
+    map
+      (fun ids ->
+        List.mapi (fun i _ -> Request.make i Objects.Test_and_set) (List.init ids (fun _ -> ())))
+      (int_range 0 8))
+
+let prop_history_prefix_laws =
+  QCheck.Test.make ~count:300 ~name:"history prefix laws"
+    (QCheck.make QCheck.Gen.(pair gen_tas_history gen_tas_history))
+    (fun (h1, h2) ->
+      let c = History.common_prefix h1 h2 in
+      History.is_prefix c h1 && History.is_prefix c h2
+      && History.is_prefix h1 h1
+      && (not (History.strict_prefix h1 h1)))
+
+let prop_beta_consistent_with_run =
+  QCheck.Test.make ~count:300 ~name:"beta_at agrees with run"
+    (QCheck.make gen_tas_history)
+    (fun h ->
+      let _, resps = History.run Objects.tas h in
+      List.for_all
+        (fun (r, resp) -> History.beta_at Objects.tas h (Request.id r) = Some resp)
+        resps)
+
+let prop_sequential_traces_linearizable =
+  (* generate a genuinely sequential register trace and check the generic
+     checker accepts it; corrupt one read to an unwritten value and check
+     it rejects *)
+  QCheck.Test.make ~count:200 ~name:"sequential register traces: accept/reject"
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 8) (int_range 0 1)))
+    (fun choices ->
+      let seq = ref 0 in
+      let next () =
+        incr seq;
+        !seq
+      in
+      let state = ref 0 in
+      let id = ref 0 in
+      let ops =
+        List.map
+          (fun c ->
+            incr id;
+            let inv = next () in
+            let req, resp =
+              if c = 0 then begin
+                let v = 1000 + !id in
+                state := v;
+                (Objects.Reg_write v, Objects.Reg_ok)
+              end
+              else (Objects.Reg_read, Objects.Reg_value !state)
+            in
+            {
+              Trace.op_pid = 0;
+              op_req = Request.make !id req;
+              invoke_seq = inv;
+              invoke_ts = inv;
+              op_init = None;
+              outcome = Trace.Committed { resp; resp_seq = next (); resp_ts = !seq };
+            })
+          choices
+      in
+      let ok = Linearize.check_operations Objects.register ops in
+      (* corrupt the first read, if any *)
+      let corrupted =
+        List.map
+          (fun (o : _ Trace.operation) ->
+            match (Request.payload o.Trace.op_req, o.Trace.outcome) with
+            | Objects.Reg_read, Trace.Committed c ->
+                { o with Trace.outcome = Trace.Committed { c with resp = Objects.Reg_value (-1) } }
+            | _ -> o)
+          ops
+      in
+      let has_read =
+        List.exists
+          (fun (o : _ Trace.operation) -> Request.payload o.Trace.op_req = Objects.Reg_read)
+          ops
+      in
+      ok && ((not has_read) || not (Linearize.check_operations Objects.register corrupted)))
+
+let prop_uc_fai_distinct =
+  QCheck.Test.make ~count:60 ~name:"UC fetch&inc responses are distinct"
+    (QCheck.make
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       QCheck.Gen.(pair (int_range 2 4) gen_seed))
+    (fun (n, seed) ->
+      let r =
+        Uc_run.run ~seed ~n ~ops_per_proc:2
+          ~stages:[ Uc_run.S_split; Uc_run.S_cas ]
+          ~policy:Policy.random
+          ~gen_payload:(fun ~pid:_ ~k:_ -> Objects.Fai_inc)
+          ()
+      in
+      let values =
+        List.filter_map
+          (fun (_, hist) ->
+            match hist with
+            | [] -> None
+            | _ -> (
+                let last = List.nth hist (List.length hist - 1) in
+                match History.beta_at Objects.fetch_and_increment hist (Request.id last) with
+                | Some (Objects.Fai_value v) -> Some v
+                | None -> None))
+          r.Uc_run.commit_hists
+      in
+      ignore values;
+      (* distinctness of every request's own response *)
+      let own =
+        List.filter_map
+          (fun (pid, req, _) ->
+            ignore pid;
+            (* find the longest commit history containing the request *)
+            let best =
+              List.fold_left
+                (fun acc (_, h) ->
+                  if History.mem (Request.id req) h then
+                    match acc with
+                    | Some b when List.length b >= List.length h -> acc
+                    | _ -> Some h
+                  else acc)
+                None r.Uc_run.commit_hists
+            in
+            match best with
+            | None -> None
+            | Some h -> (
+                match History.beta_at Objects.fetch_and_increment h (Request.id req) with
+                | Some (Objects.Fai_value v) -> Some v
+                | None -> None))
+          r.Uc_run.responses
+      in
+      List.length (List.sort_uniq compare own) = List.length own)
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_strict_linearizable;
+      prop_paper_interpretable;
+      prop_solo_fast_linearizable;
+      prop_crashes_preserve_safety;
+      prop_consensus_agreement;
+      prop_splitter_at_most_one_stop;
+      prop_snapshot_scans_comparable;
+      prop_history_prefix_laws;
+      prop_beta_consistent_with_run;
+      prop_sequential_traces_linearizable;
+      prop_uc_fai_distinct;
+    ]

@@ -1,0 +1,123 @@
+(* Tests for sequential specifications, histories and β. *)
+
+open Scs_spec
+
+let req id payload = Request.make id payload
+
+let test_tas_spec () =
+  let q1, r1 = Objects.tas.Spec.apply Objects.tas.Spec.init Objects.Test_and_set in
+  Alcotest.(check bool) "first wins" true (r1 = Objects.Winner);
+  let _, r2 = Objects.tas.Spec.apply q1 Objects.Test_and_set in
+  Alcotest.(check bool) "second loses" true (r2 = Objects.Loser)
+
+let test_resettable_tas_spec () =
+  let s = Objects.resettable_tas in
+  let q, r = s.Spec.apply s.Spec.init Objects.R_test_and_set in
+  Alcotest.(check bool) "win" true (r = Objects.R_winner);
+  let q, r = s.Spec.apply q Objects.R_test_and_set in
+  Alcotest.(check bool) "lose" true (r = Objects.R_loser);
+  let q, r = s.Spec.apply q Objects.R_reset in
+  Alcotest.(check bool) "reset ok" true (r = Objects.R_ok);
+  let _, r = s.Spec.apply q Objects.R_test_and_set in
+  Alcotest.(check bool) "win again" true (r = Objects.R_winner)
+
+let test_queue_spec () =
+  let s = Objects.queue in
+  let q, _ = s.Spec.apply s.Spec.init (Objects.Enqueue 1) in
+  let q, _ = s.Spec.apply q (Objects.Enqueue 2) in
+  let q, r = s.Spec.apply q Objects.Dequeue in
+  Alcotest.(check bool) "fifo" true (r = Objects.Q_dequeued (Some 1));
+  let q, r = s.Spec.apply q Objects.Dequeue in
+  Alcotest.(check bool) "fifo 2" true (r = Objects.Q_dequeued (Some 2));
+  let _, r = s.Spec.apply q Objects.Dequeue in
+  Alcotest.(check bool) "empty" true (r = Objects.Q_dequeued None)
+
+let test_fai_spec () =
+  let s = Objects.fetch_and_increment in
+  let q, r = s.Spec.apply s.Spec.init Objects.Fai_inc in
+  Alcotest.(check bool) "returns old" true (r = Objects.Fai_value 0);
+  let _, r = s.Spec.apply q Objects.Fai_read in
+  Alcotest.(check bool) "incremented" true (r = Objects.Fai_value 1)
+
+let test_consensus_spec () =
+  let s = Objects.consensus in
+  let q, r = s.Spec.apply s.Spec.init (Objects.Propose 5) in
+  Alcotest.(check bool) "decides first" true (r = Objects.Decided 5);
+  let _, r = s.Spec.apply q (Objects.Propose 9) in
+  Alcotest.(check bool) "sticks" true (r = Objects.Decided 5)
+
+let test_history_no_dups () =
+  let h = [ req 1 Objects.Test_and_set; req 2 Objects.Test_and_set ] in
+  Alcotest.(check bool) "no dups" true (History.no_dups h);
+  let bad = h @ [ req 1 Objects.Test_and_set ] in
+  Alcotest.(check bool) "dup detected" false (History.no_dups bad)
+
+let test_history_prefix () =
+  let a = [ req 1 Objects.Test_and_set ] in
+  let b = a @ [ req 2 Objects.Test_and_set ] in
+  Alcotest.(check bool) "prefix" true (History.is_prefix a b);
+  Alcotest.(check bool) "not prefix" false (History.is_prefix b a);
+  Alcotest.(check bool) "strict" true (History.strict_prefix a b);
+  Alcotest.(check bool) "self prefix" true (History.is_prefix b b);
+  Alcotest.(check bool) "self not strict" false (History.strict_prefix b b)
+
+let test_history_common_prefix () =
+  let a = [ req 1 0; req 2 0; req 3 0 ] in
+  let b = [ req 1 0; req 2 0; req 4 0 ] in
+  Alcotest.(check (list int)) "common" [ 1; 2 ] (History.ids (History.common_prefix a b))
+
+let test_beta_tas () =
+  let h = [ req 1 Objects.Test_and_set; req 2 Objects.Test_and_set ] in
+  Alcotest.(check bool) "beta = last" true (History.beta Objects.tas h = Some Objects.Loser);
+  Alcotest.(check bool) "beta at head" true
+    (History.beta_at Objects.tas h 1 = Some Objects.Winner);
+  Alcotest.(check bool) "beta at tail" true
+    (History.beta_at Objects.tas h 2 = Some Objects.Loser);
+  Alcotest.(check bool) "beta missing" true (History.beta_at Objects.tas h 7 = None);
+  Alcotest.(check bool) "beta empty" true (History.beta Objects.tas [] = None)
+
+let test_equiv_tas () =
+  (* two TAS histories over the same winner are ≡ on their common ids *)
+  let h1 = [ req 1 Objects.Test_and_set; req 2 Objects.Test_and_set; req 3 Objects.Test_and_set ] in
+  let h2 = [ req 1 Objects.Test_and_set; req 3 Objects.Test_and_set; req 2 Objects.Test_and_set ] in
+  Alcotest.(check bool) "equiv same head" true
+    (History.equiv Objects.tas ~ids:[ 1; 2; 3 ] h1 h2);
+  (* different heads: responses of id 2 differ *)
+  let h3 = [ req 2 Objects.Test_and_set; req 1 Objects.Test_and_set; req 3 Objects.Test_and_set ] in
+  Alcotest.(check bool) "not equiv different head" false
+    (History.equiv Objects.tas ~ids:[ 1; 2; 3 ] h1 h3)
+
+let test_equiv_queue_order_matters () =
+  let h1 = [ req 1 (Objects.Enqueue 1); req 2 (Objects.Enqueue 2) ] in
+  let h2 = [ req 2 (Objects.Enqueue 2); req 1 (Objects.Enqueue 1) ] in
+  Alcotest.(check bool) "queue order distinguishes" false
+    (History.equiv Objects.queue ~ids:[ 1; 2 ] h1 h2)
+
+let test_run_responses () =
+  let h = [ req 1 (Objects.Enqueue 7); req 2 Objects.Dequeue ] in
+  let final, resps = History.run Objects.queue h in
+  Alcotest.(check (list int)) "final state" [] final;
+  Alcotest.(check int) "two responses" 2 (List.length resps)
+
+let test_request_gen () =
+  let g = Request.Gen.create () in
+  let a = Request.Gen.fresh g () in
+  let b = Request.Gen.fresh g () in
+  Alcotest.(check bool) "ids fresh" true (Request.id a <> Request.id b)
+
+let tests =
+  [
+    Alcotest.test_case "tas spec" `Quick test_tas_spec;
+    Alcotest.test_case "resettable tas spec" `Quick test_resettable_tas_spec;
+    Alcotest.test_case "queue spec" `Quick test_queue_spec;
+    Alcotest.test_case "fai spec" `Quick test_fai_spec;
+    Alcotest.test_case "consensus spec" `Quick test_consensus_spec;
+    Alcotest.test_case "history no dups" `Quick test_history_no_dups;
+    Alcotest.test_case "history prefix" `Quick test_history_prefix;
+    Alcotest.test_case "history common prefix" `Quick test_history_common_prefix;
+    Alcotest.test_case "beta on tas" `Quick test_beta_tas;
+    Alcotest.test_case "equiv on tas" `Quick test_equiv_tas;
+    Alcotest.test_case "equiv on queue" `Quick test_equiv_queue_order_matters;
+    Alcotest.test_case "run responses" `Quick test_run_responses;
+    Alcotest.test_case "request gen" `Quick test_request_gen;
+  ]

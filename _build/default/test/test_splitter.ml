@@ -1,0 +1,103 @@
+(* Exhaustive verification of the Moir-Anderson splitter over all
+   interleavings of 2 and 3 processes. *)
+
+open Scs_sim
+open Scs_consensus
+
+let run_exhaustive n =
+  let violations = ref [] in
+  let results = Array.make n None in
+  let setup sim =
+    Array.fill results 0 n None;
+    let module P = (val Scs_prims.Sim_prims.make sim) in
+    let module Sp = Splitter.Make (P) in
+    let s = Sp.create ~name:"s" () in
+    for pid = 0 to n - 1 do
+      Sim.spawn sim pid (fun () -> results.(pid) <- Some (Sp.split s ~pid))
+    done
+  in
+  let check _sim sched =
+    let completed = Array.to_list results |> List.filter_map (fun x -> x) in
+    let count v = List.length (List.filter (fun r -> r = v) completed) in
+    let stops = count Splitter.Stop in
+    let lefts = count Splitter.Left in
+    let rights = count Splitter.Right in
+    let total = List.length completed in
+    if stops > 1 then violations := ("two stops", sched) :: !violations;
+    if total = n && n > 0 then begin
+      if lefts = n then violations := ("all left", sched) :: !violations;
+      if rights = n then violations := ("all right", sched) :: !violations
+    end
+  in
+  let outcome = Explore.exhaustive ~n ~setup ~check () in
+  (outcome, !violations)
+
+let test_exhaustive_2 () =
+  let outcome, violations = run_exhaustive 2 in
+  Alcotest.(check bool) "explored all" false outcome.Explore.truncated;
+  Alcotest.(check int) "no violations" 0 (List.length violations);
+  Alcotest.(check bool) "many schedules" true (outcome.Explore.schedules > 10)
+
+let test_exhaustive_3 () =
+  (* 3 processes x 5 turns is ~756k schedules; the budget caps exploration
+     at 200k, all of which must be violation-free *)
+  let outcome, violations = run_exhaustive 3 in
+  Alcotest.(check bool) "many schedules" true (outcome.Explore.schedules >= 100_000);
+  Alcotest.(check int) "no violations" 0 (List.length violations)
+
+let test_solo_stops () =
+  let sim = Sim.create ~n:1 () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module Sp = Splitter.Make (P) in
+  let s = Sp.create ~name:"s" () in
+  let result = ref None in
+  Sim.spawn sim 0 (fun () -> result := Some (Sp.split s ~pid:0));
+  Sim.run sim (Policy.round_robin ());
+  Alcotest.(check bool) "solo stops" true (!result = Some Splitter.Stop)
+
+let test_solo_steps_constant () =
+  let sim = Sim.create ~n:1 () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module Sp = Splitter.Make (P) in
+  let s = Sp.create ~name:"s" () in
+  Sim.spawn sim 0 (fun () -> ignore (Sp.split s ~pid:0));
+  Sim.run sim (Policy.round_robin ());
+  Alcotest.(check int) "4 steps" 4 (Sim.steps_of sim 0)
+
+let test_reset_reuse () =
+  let sim = Sim.create ~n:1 () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module Sp = Splitter.Make (P) in
+  let s = Sp.create ~name:"s" () in
+  let results = ref [] in
+  Sim.spawn sim 0 (fun () ->
+      results := Sp.split s ~pid:0 :: !results;
+      Sp.reset s;
+      results := Sp.split s ~pid:0 :: !results);
+  Sim.run sim (Policy.round_robin ());
+  Alcotest.(check bool) "stop twice after reset" true
+    (!results = [ Splitter.Stop; Splitter.Stop ])
+
+let test_sequential_after_stop () =
+  (* without reset, a second solo process cannot stop *)
+  let sim = Sim.create ~n:2 () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module Sp = Splitter.Make (P) in
+  let s = Sp.create ~name:"s" () in
+  let results = Array.make 2 None in
+  for pid = 0 to 1 do
+    Sim.spawn sim pid (fun () -> results.(pid) <- Some (Sp.split s ~pid))
+  done;
+  Sim.run sim (Policy.sequential ());
+  Alcotest.(check bool) "first stops" true (results.(0) = Some Splitter.Stop);
+  Alcotest.(check bool) "second goes right" true (results.(1) = Some Splitter.Right)
+
+let tests =
+  [
+    Alcotest.test_case "exhaustive n=2" `Quick test_exhaustive_2;
+    Alcotest.test_case "exhaustive n=3" `Slow test_exhaustive_3;
+    Alcotest.test_case "solo stops" `Quick test_solo_stops;
+    Alcotest.test_case "solo steps constant" `Quick test_solo_steps_constant;
+    Alcotest.test_case "reset reuse" `Quick test_reset_reuse;
+    Alcotest.test_case "sequential after stop" `Quick test_sequential_after_stop;
+  ]

@@ -1,0 +1,306 @@
+(* Verification of the composable universal construction (Section 4):
+   - the AADGMS snapshot substrate (validity + total order of scans);
+   - single-instance universal construction over each consensus algorithm;
+   - Abstract properties (Definition 1) on recorded stage traces;
+   - the composition (Proposition 1): split → bakery → CAS chain is
+     wait-free and linearizable for fetch&inc and queue objects;
+   - the state-transfer cost (abort histories grow with committed work). *)
+
+open Scs_spec
+open Scs_history
+open Scs_sim
+open Scs_workload
+
+(* ---- snapshot -------------------------------------------------------- *)
+
+let test_snapshot_solo () =
+  let sim = Sim.create ~n:1 () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module S = Scs_universal.Snapshot.Make (P) in
+  let s = S.create ~name:"s" ~n:2 ~init:0 in
+  let views = ref [] in
+  Sim.spawn sim 0 (fun () ->
+      views := S.scan s ~pid:0 :: !views;
+      S.update s ~pid:0 5;
+      views := S.scan s ~pid:0 :: !views);
+  Sim.run sim (Policy.round_robin ());
+  match List.rev !views with
+  | [ v1; v2 ] ->
+      Alcotest.(check (array int)) "initial" [| 0; 0 |] v1;
+      Alcotest.(check (array int)) "after update" [| 5; 0 |] v2
+  | _ -> Alcotest.fail "expected two views"
+
+(* every pair of scans must be pointwise comparable when components are
+   monotone counters: that is exactly snapshot linearizability here *)
+let scans_comparable scans =
+  let le a b = Array.for_all2 (fun x y -> x <= y) a b in
+  List.for_all
+    (fun a -> List.for_all (fun b -> le a b || le b a) scans)
+    scans
+
+let test_snapshot_random_linearizable () =
+  for seed = 1 to 60 do
+    let n = 3 in
+    let sim = Sim.create ~n () in
+    let module P = (val Scs_prims.Sim_prims.make sim) in
+    let module S = Scs_universal.Snapshot.Make (P) in
+    let s = S.create ~name:"s" ~n ~init:0 in
+    let scans = ref [] in
+    for pid = 0 to n - 1 do
+      Sim.spawn sim pid (fun () ->
+          for k = 1 to 3 do
+            S.update s ~pid k;
+            scans := S.scan s ~pid :: !scans
+          done)
+    done;
+    Sim.run sim (Policy.random (Scs_util.Rng.create seed));
+    if not (scans_comparable !scans) then
+      Alcotest.failf "incomparable scans at seed %d" seed;
+    (* validity: own component reflects the last update *)
+    ()
+  done
+
+let test_snapshot_update_embeds_view () =
+  (* a scanner that observes a component move twice borrows a valid view;
+     exercised under heavy interleaving *)
+  for seed = 1 to 40 do
+    let n = 2 in
+    let sim = Sim.create ~n () in
+    let module P = (val Scs_prims.Sim_prims.make sim) in
+    let module S = Scs_universal.Snapshot.Make (P) in
+    let s = S.create ~name:"s" ~n ~init:0 in
+    let scans = ref [] in
+    Sim.spawn sim 0 (fun () ->
+        for k = 1 to 6 do
+          S.update s ~pid:0 k
+        done);
+    Sim.spawn sim 1 (fun () ->
+        for _ = 1 to 4 do
+          scans := S.scan s ~pid:1 :: !scans
+        done);
+    Sim.run sim (Policy.random (Scs_util.Rng.create seed));
+    (* scans of p1 must be monotone in p0's component *)
+    let rec monotone = function
+      | a :: (b :: _ as rest) ->
+          (* !scans is newest-first *)
+          b.(0) <= a.(0) && monotone rest
+      | _ -> true
+    in
+    if not (monotone !scans) then Alcotest.failf "non-monotone scans at seed %d" seed
+  done
+
+let test_snapshot_wait_free () =
+  (* a scanner completes even while the other component updates forever
+     within the run: bounded double collects via borrowed views *)
+  let n = 2 in
+  let sim = Sim.create ~max_steps:200_000 ~n () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module S = Scs_universal.Snapshot.Make (P) in
+  let s = S.create ~name:"s" ~n ~init:0 in
+  let scan_done = ref false in
+  Sim.spawn sim 0 (fun () ->
+      for k = 1 to 200 do
+        S.update s ~pid:0 k
+      done);
+  Sim.spawn sim 1 (fun () ->
+      ignore (S.scan s ~pid:1);
+      scan_done := true);
+  (* adversarial: give the updater 3 turns per scanner turn *)
+  let count = ref 0 in
+  Sim.run sim (fun sm ->
+      incr count;
+      let want = if !count mod 4 = 0 then 1 else 0 in
+      if Sim.is_runnable sm want then Sim.Sched want
+      else if Sim.is_runnable sm (1 - want) then Sim.Sched (1 - want)
+      else Sim.Stop);
+  Alcotest.(check bool) "scan completed" true !scan_done
+
+(* ---- universal construction: single instance -------------------------- *)
+
+let fai_payload ~pid:_ ~k:_ = Objects.Fai_inc
+
+let test_uc_cas_fai () =
+  (* wait-free single stage: every process gets a distinct counter value *)
+  for seed = 1 to 30 do
+    let r =
+      Uc_run.run ~seed ~n:4 ~ops_per_proc:3 ~stages:[ Uc_run.S_cas ] ~policy:Policy.random
+        ~gen_payload:fai_payload ()
+    in
+    Alcotest.(check int) "all commits" 12 (List.length r.Uc_run.commit_hists);
+    (match Uc_run.check_responses Objects.fetch_and_increment r with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: %s" seed e);
+    (* Abstract properties, strict validity *)
+    Array.iter
+      (fun evs ->
+        match Abstract_check.check evs with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "abstract violation at seed %d: %s" seed e)
+      r.Uc_run.stage_events
+  done
+
+let test_uc_split_solo () =
+  let r =
+    Uc_run.run ~n:3 ~ops_per_proc:4 ~stages:[ Uc_run.S_split; Uc_run.S_cas ]
+      ~policy:(fun _ -> Policy.solo 0) ~gen_payload:fai_payload ()
+  in
+  (* the solo process commits everything on the cheap stage *)
+  Alcotest.(check int) "4 commits" 4 (List.length r.Uc_run.commit_hists);
+  Alcotest.(check int) "stays on stage 0" 0 r.Uc_run.final_stages.(0);
+  Alcotest.(check (list int)) "no switches" []
+    (List.map snd r.Uc_run.switch_lens)
+
+let test_uc_split_sequential () =
+  let r =
+    Uc_run.run ~n:4 ~ops_per_proc:3 ~stages:[ Uc_run.S_split; Uc_run.S_cas ]
+      ~policy:(fun _ -> Policy.sequential ()) ~gen_payload:fai_payload ()
+  in
+  Alcotest.(check int) "all commit" 12 (List.length r.Uc_run.commit_hists);
+  match Uc_run.check_responses Objects.fetch_and_increment r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_uc_composed_random () =
+  for seed = 1 to 25 do
+    let r =
+      Uc_run.run ~seed ~n:3 ~ops_per_proc:3
+        ~stages:[ Uc_run.S_split; Uc_run.S_bakery; Uc_run.S_cas ]
+        ~policy:Policy.random ~gen_payload:fai_payload ()
+    in
+    Alcotest.(check int) "wait-free: all commit" 9 (List.length r.Uc_run.commit_hists);
+    (match Uc_run.check_responses Objects.fetch_and_increment r with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: %s" seed e);
+    Array.iter
+      (fun evs ->
+        match Abstract_check.check evs with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "abstract violation at seed %d: %s" seed e)
+      r.Uc_run.stage_events
+  done
+
+(* Proposition 2, executable: a wait-free Abstract implementation of a
+   non-trivial type solves consensus — decide on the payload of the first
+   request in one's commit history (Commit Order makes it unique). *)
+let test_prop2_abstract_solves_consensus () =
+  for seed = 1 to 40 do
+    let n = 4 in
+    let r =
+      Uc_run.run ~seed ~n ~ops_per_proc:1
+        ~stages:[ Uc_run.S_cas ]
+        ~policy:Policy.random
+        ~gen_payload:(fun ~pid ~k:_ -> Objects.Enqueue (1000 + pid))
+        ()
+    in
+    let decisions =
+      List.filter_map
+        (fun (_, hist) ->
+          match hist with
+          | first :: _ -> (
+              match Request.payload first with Objects.Enqueue v -> Some v | _ -> None)
+          | [] -> None)
+        r.Uc_run.commit_hists
+    in
+    (match decisions with
+    | [] -> Alcotest.failf "no decisions at seed %d" seed
+    | d :: rest ->
+        if not (List.for_all (fun x -> x = d) rest) then
+          Alcotest.failf "Prop 2 reduction disagreed at seed %d" seed;
+        if d < 1000 || d >= 1000 + n then Alcotest.failf "invalid at seed %d" seed)
+  done
+
+let test_uc_state_transfer_grows () =
+  (* T5's mechanism: the more requests committed before contention forces a
+     switch, the longer the transferred history. Mostly-sequential sticky
+     schedules let work accumulate before the occasional collision. *)
+  let switch_lens ~ops_per_proc =
+    let lens = ref [] in
+    for seed = 1 to 30 do
+      let r =
+        Uc_run.run ~seed ~n:3 ~ops_per_proc
+          ~stages:[ Uc_run.S_split; Uc_run.S_cas ]
+          ~policy:(fun rng -> Policy.sticky rng ~switch_prob:0.05)
+          ~gen_payload:fai_payload ()
+      in
+      lens := List.map snd r.Uc_run.switch_lens @ !lens
+    done;
+    !lens
+  in
+  let mean l =
+    if l = [] then 0.0
+    else float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+  in
+  let small = switch_lens ~ops_per_proc:1 in
+  let large = switch_lens ~ops_per_proc:8 in
+  Alcotest.(check bool) "switches happen" true (small <> []);
+  Alcotest.(check bool) "longer runs transfer more state (mean)" true
+    (mean large > mean small);
+  Alcotest.(check bool) "longer runs transfer more state (max)" true
+    (List.fold_left max 0 large > List.fold_left max 0 small)
+
+(* ---- typed objects over the composed chain ---------------------------- *)
+
+let run_typed_queue ~seed ~policy =
+  let n = 3 in
+  let sim = Sim.create ~max_steps:20_000_000 ~n () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module UO = Scs_universal.Uc_object.Make (P) in
+  let module SC = Scs_consensus.Split_consensus.Make (P) in
+  let module CC = Scs_consensus.Cas_consensus.Make (P) in
+  let stages =
+    [
+      (fun ~name ~slot:_ -> SC.instance (SC.create ~name ()));
+      (fun ~name ~slot:_ -> CC.instance (CC.create ~name ()));
+    ]
+  in
+  let chain = UO.create ~name:"q" ~n ~max_requests:64 ~stages () in
+  let obj = UO.Typed.create Objects.queue chain in
+  let gen = Request.Gen.create () in
+  let tr : (Objects.queue_req, Objects.queue_resp, unit) Trace.t =
+    Trace.create ~clock:(fun () -> Sim.clock sim) ()
+  in
+  for pid = 0 to n - 1 do
+    Sim.spawn sim pid (fun () ->
+        let h = UO.Typed.handle obj ~pid in
+        for k = 1 to 3 do
+          let payload =
+            if k mod 2 = 1 then Objects.Enqueue ((10 * pid) + k) else Objects.Dequeue
+          in
+          let req = Request.Gen.fresh gen payload in
+          Trace.invoke tr ~pid req;
+          let resp = UO.Typed.apply h req in
+          Trace.commit tr ~pid req resp
+        done)
+  done;
+  Sim.run sim (policy (Scs_util.Rng.create seed));
+  Trace.events tr
+
+let test_typed_queue_linearizable () =
+  for seed = 1 to 15 do
+    let evs = run_typed_queue ~seed ~policy:Policy.random in
+    if not (Linearize.check_events Objects.queue evs) then
+      Alcotest.failf "queue not linearizable at seed %d" seed
+  done
+
+let test_typed_queue_sequential_fifo () =
+  let evs = run_typed_queue ~seed:1 ~policy:(fun _ -> Policy.sequential ()) in
+  Alcotest.(check bool) "sequential queue linearizable" true
+    (Linearize.check_events Objects.queue evs)
+
+let tests =
+  [
+    Alcotest.test_case "snapshot solo" `Quick test_snapshot_solo;
+    Alcotest.test_case "snapshot scans comparable" `Quick test_snapshot_random_linearizable;
+    Alcotest.test_case "snapshot monotone under interference" `Quick
+      test_snapshot_update_embeds_view;
+    Alcotest.test_case "snapshot wait-free" `Quick test_snapshot_wait_free;
+    Alcotest.test_case "uc: cas-stage fetch&inc" `Quick test_uc_cas_fai;
+    Alcotest.test_case "uc: split stage solo" `Quick test_uc_split_solo;
+    Alcotest.test_case "uc: split stage sequential" `Quick test_uc_split_sequential;
+    Alcotest.test_case "uc: composed chain random" `Quick test_uc_composed_random;
+    Alcotest.test_case "uc: Prop 2 — Abstract solves consensus" `Quick
+      test_prop2_abstract_solves_consensus;
+    Alcotest.test_case "uc: state transfer grows (T5)" `Quick test_uc_state_transfer_grows;
+    Alcotest.test_case "uc: typed queue linearizable" `Quick test_typed_queue_linearizable;
+    Alcotest.test_case "uc: typed queue sequential" `Quick test_typed_queue_sequential_fifo;
+  ]

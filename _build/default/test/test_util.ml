@@ -1,0 +1,179 @@
+(* Unit tests for scs_util: RNG determinism, statistics, vectors, tables. *)
+
+open Scs_util
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next64 a = Rng.next64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_int_in () =
+  let r = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in r (-3) 5 in
+    Alcotest.(check bool) "in range" true (x >= -3 && x <= 5)
+  done
+
+let test_rng_float_unit () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_bernoulli_extremes () =
+  let r = Rng.create 6 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli r 0.0)
+  done;
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli r 1.0)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 9 in
+  let child = Rng.split parent in
+  let c1 = Rng.next64 child in
+  (* recreate: same parent state sequence gives same child *)
+  let parent2 = Rng.create 9 in
+  let child2 = Rng.split parent2 in
+  Alcotest.(check int64) "split deterministic" c1 (Rng.next64 child2)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 10 in
+  let a = Array.init 20 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 (fun i -> i)) sorted
+
+let test_rng_bool_balanced () =
+  let r = Rng.create 11 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool r then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 4500 && !trues < 5500)
+
+let test_stats_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_stats_stddev () =
+  let sd = Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check (float 1e-6)) "sample sd" 2.13809 sd
+
+let test_stats_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0)
+
+let test_stats_percentile_unsorted () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "median of unsorted" 3.0 (Stats.percentile xs 50.0)
+
+let test_stats_summary () =
+  let s = Stats.summarize_ints [| 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 |] in
+  Alcotest.(check int) "n" 10 s.Stats.n;
+  Alcotest.(check (float 1e-9)) "mean" 5.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 10.0 s.Stats.max
+
+let test_stats_mean_ci95 () =
+  let m, hw = Stats.mean_ci95 [| 10.0; 10.0; 10.0; 10.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 10.0 m;
+  Alcotest.(check (float 1e-9)) "zero spread" 0.0 hw;
+  let m1, hw1 = Stats.mean_ci95 [| 0.0; 10.0 |] in
+  Alcotest.(check (float 1e-9)) "mean of pair" 5.0 m1;
+  Alcotest.(check bool) "positive half-width" true (hw1 > 0.0);
+  let _, hw_single = Stats.mean_ci95 [| 1.0 |] in
+  Alcotest.(check (float 1e-9)) "n=1 half-width" 0.0 hw_single
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~buckets:2 [| 0.0; 1.0; 9.0; 10.0 |] in
+  Alcotest.(check int) "buckets" 2 (List.length h);
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all samples" 4 total
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 42" 42 (Vec.get v 42);
+  Alcotest.(check int) "last" (Some 99 |> Option.get) (Option.get (Vec.last v))
+
+let test_vec_set () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.set v 1 42;
+  Alcotest.(check (list int)) "set" [ 1; 42; 3 ] (Vec.to_list v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v 1))
+
+let test_vec_clear () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  Alcotest.(check bool) "last none" true (Vec.last v = None)
+
+let test_vec_fold () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold sum" 10 (Vec.fold_left ( + ) 0 v)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  Alcotest.(check bool) "contains rows" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.length >= 4)
+
+let test_chart_bar () =
+  let b = Chart.bar ~width:10 ~max_value:10.0 5.0 in
+  Alcotest.(check int) "width" 10 (String.length b);
+  Alcotest.(check bool) "half filled" true (String.contains b '#')
+
+let tests =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng int_in bounds" `Quick test_rng_int_in;
+    Alcotest.test_case "rng float unit interval" `Quick test_rng_float_unit;
+    Alcotest.test_case "rng bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+    Alcotest.test_case "rng split deterministic" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "rng bool balanced" `Quick test_rng_bool_balanced;
+    Alcotest.test_case "stats mean" `Quick test_stats_mean;
+    Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats percentile unsorted" `Quick test_stats_percentile_unsorted;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats mean ci95" `Quick test_stats_mean_ci95;
+    Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+    Alcotest.test_case "vec push/get" `Quick test_vec_push_get;
+    Alcotest.test_case "vec set" `Quick test_vec_set;
+    Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+    Alcotest.test_case "vec clear" `Quick test_vec_clear;
+    Alcotest.test_case "vec fold" `Quick test_vec_fold;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "chart bar" `Quick test_chart_bar;
+  ]
