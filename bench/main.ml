@@ -1,6 +1,6 @@
 (* The benchmark harness.
 
-   Part 1 replays every experiment of EXPERIMENTS.md (T1–T8, F1, F2):
+   Part 1 replays every experiment of EXPERIMENTS.md (T1–T10, F1, F2):
    deterministic simulator measurements of the complexity quantities the
    paper claims, plus the native-throughput sweep.
 

@@ -194,70 +194,41 @@ let explore_cmd =
   let budget_arg =
     Arg.(
       value & opt int 100_000
-      & info [ "budget" ] ~docv:"K" ~doc:"Maximum number of schedules to enumerate.")
+      & info [ "budget" ] ~docv:"K"
+          ~doc:"Maximum number of terminated runs to enumerate.")
   in
-  let run n algo budget =
-    let strict = algo = Tas_run.Strict in
-    let current = ref None in
-    let setup sim =
-      let module P = (val Scs_prims.Sim_prims.make sim) in
-      let tr = Trace.create ~clock:(fun () -> Sim.clock sim) () in
-      current := Some tr;
-      let op =
-        match algo with
-        | Tas_run.Composed | Tas_run.Strict ->
-            let module OS = Scs_tas.One_shot.Make (P) in
-            let os = OS.create ~strict ~name:"tas" () in
-            fun ~pid -> OS.test_and_set os ~pid
-        | Tas_run.Solo_fast ->
-            let module SF = Scs_tas.Solo_fast.Make (P) in
-            let sf = SF.create ~name:"sf" () in
-            fun ~pid -> SF.test_and_set sf ~pid
-        | Tas_run.Hardware ->
-            let module B = Scs_tas.Baselines.Make (P) in
-            let hw = B.Hardware.create ~name:"hw" () in
-            fun ~pid -> B.Hardware.test_and_set hw ~pid
-        | Tas_run.Tournament ->
-            let module B = Scs_tas.Baselines.Make (P) in
-            let t = B.Tournament.create ~name:"agtv" ~n () in
-            let rngs = Array.init n (fun i -> Scs_util.Rng.create (i + 1)) in
-            fun ~pid -> B.Tournament.test_and_set t ~pid ~rng:rngs.(pid)
-      in
-      for pid = 0 to n - 1 do
-        Sim.spawn sim pid (fun () ->
-            let req = Request.make pid Objects.Test_and_set in
-            Trace.invoke tr ~pid req;
-            let r = op ~pid in
-            Trace.commit tr ~pid req r)
-      done
+  let por_arg =
+    Arg.(
+      value & flag
+      & info [ "por" ]
+          ~doc:
+            "Enable sleep-set partial-order reduction: explore one representative \
+             schedule per class of commuting reorderings.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Fan the exploration out over $(docv) OCaml domains.")
+  in
+  let run n algo budget por domains =
+    let outcome, bad =
+      Tas_run.explore_one_shot ~max_schedules:budget ~por ~domains ~n ~algo ()
     in
-    let bad = ref 0 and first = ref None in
-    let check _ sched =
-      let tr = Option.get !current in
-      if not (Tas_lin.check_one_shot (Trace.operations (Trace.events tr))) then begin
-        incr bad;
-        if !first = None then first := Some sched
-      end
-    in
-    let outcome = Explore.exhaustive ~max_schedules:budget ~n ~setup ~check () in
-    Printf.printf "%s, n=%d: explored %d schedules%s; non-linearizable: %d
-"
+    Printf.printf
+      "%s, n=%d: explored %d schedules%s; pruned %d; %d truncated runs; %d turns in \
+       %.2fs; non-linearizable: %d\n"
       (Tas_run.algo_name algo) n outcome.Explore.schedules
       (if outcome.Explore.truncated then " (budget-truncated)" else " (complete)")
-      !bad;
-    (match !first with
-    | Some sched ->
-        Printf.printf "first violating schedule: %s
-"
-          (String.concat "," (List.map string_of_int sched))
-    | None -> ());
-    if !bad > 0 then exit 1
+      outcome.Explore.pruned outcome.Explore.truncated_runs outcome.Explore.steps_replayed
+      outcome.Explore.wall_s bad;
+    if bad > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Exhaustively enumerate interleavings of a one-shot TAS run and check strict           linearizability on each (bounded model checking).")
-    Term.(const run $ n_arg $ tas_algo_arg $ budget_arg)
+    Term.(const run $ n_arg $ tas_algo_arg $ budget_arg $ por_arg $ domains_arg)
 
 (* ---- main ---------------------------------------------------------------- *)
 

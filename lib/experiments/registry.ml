@@ -11,6 +11,11 @@ let all =
     { id = "T7"; title = "Fence complexity (RAW/AWAR)"; run = Exp_t7.run };
     { id = "T8"; title = "Solo-fast variant (Appendix B)"; run = Exp_t8.run };
     { id = "T9"; title = "Extension: composition cost by object (open question)"; run = Exp_t9.run };
+    {
+      id = "T10";
+      title = "Explorer throughput: single-replay DFS, POR, multicore fan-out";
+      run = Exp_t10.run;
+    };
     { id = "F1"; title = "Figure 1 dynamics: contention sweep"; run = Exp_f1.run };
     { id = "F2"; title = "Native multicore throughput"; run = Exp_f2.run };
   ]

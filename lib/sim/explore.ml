@@ -1,37 +1,268 @@
 open Scs_util
 
-type outcome = { schedules : int; truncated : bool }
+type outcome = {
+  schedules : int;
+  truncated : bool;
+  truncated_runs : int;
+  pruned : int;
+  steps_replayed : int;
+  wall_s : float;
+}
 
-let exhaustive ?(max_schedules = 200_000) ?(max_depth = 10_000) ~n ~setup ~check () =
-  let count = ref 0 in
-  let truncated = ref false in
-  (* Replay [prefix] (a reversed pid list) on a fresh simulator and return
-     it together with its runnable set. *)
-  let replay prefix =
-    let sim = Sim.create ~n () in
-    setup sim;
-    List.iter (fun p -> if Sim.is_runnable sim p then Sim.step sim p) (List.rev prefix);
-    sim
-  in
-  let rec dfs prefix depth =
-    if !count >= max_schedules then truncated := true
+exception Replay_drift of int
+
+(* Per-engine mutable state. One [ctx] per worker domain; [run_count] is
+   the only piece shared between workers: the global budget over
+   terminated runs, maximal and depth-truncated alike (a budget over
+   maximal runs only would let a deep, mostly-truncating space consume
+   unbounded work without ever touching the budget). *)
+type ctx = {
+  n : int;
+  setup : Sim.t -> unit;
+  check : Sim.t -> Sim.pid list -> unit;
+  por : bool;
+  max_depth : int;
+  max_schedules : int;
+  run_count : int Atomic.t;
+  mutable schedules : int;  (** maximal runs checked by this worker *)
+  mutable base_objs : int;  (** objects allocated by [setup]; POR guard *)
+  mutable steps : int;
+  mutable pruned : int;
+  mutable truncated_runs : int;
+  mutable truncated : bool;
+  mutable stop : bool;
+}
+
+let mk_ctx ~n ~setup ~check ~por ~max_depth ~max_schedules ~run_count =
+  {
+    n;
+    setup;
+    check;
+    por;
+    max_depth;
+    max_schedules;
+    run_count;
+    schedules = 0;
+    base_objs = 0;
+    steps = 0;
+    pruned = 0;
+    truncated_runs = 0;
+    truncated = false;
+    stop = false;
+  }
+
+(* Charge one terminated run against the global budget; [true] iff the
+   budget is exhausted (callers flag truncation and stop). *)
+let budget_spent ctx =
+  let c = Atomic.fetch_and_add ctx.run_count 1 in
+  c >= ctx.max_schedules
+
+let fresh_sim ctx =
+  let sim = Sim.create ~n:ctx.n () in
+  ctx.setup sim;
+  ctx.base_objs <- Sim.objects_allocated sim;
+  sim
+
+let step ctx sim p =
+  Sim.step sim p;
+  ctx.steps <- ctx.steps + 1;
+  if ctx.por && Sim.objects_allocated sim <> ctx.base_objs then
+    invalid_arg
+      "Explore.exhaustive: ~por:true requires all shared objects to be \
+       allocated during setup (a fiber allocated one mid-run, so step \
+       footprints no longer capture all shared effects)"
+
+(* Rebuild the simulator state after [prefix] (pids in execution order).
+   Unlike the seed implementation this refuses to skip a pid that is not
+   runnable: a silently dropped step would mean the recorded schedule has
+   drifted from what was actually executed. *)
+let replay ctx prefix =
+  let sim = fresh_sim ctx in
+  List.iter
+    (fun p ->
+      if not (Sim.is_runnable sim p) then raise (Replay_drift p);
+      step ctx sim p)
+    prefix;
+  sim
+
+let leaf ctx sim rev_prefix =
+  if budget_spent ctx then begin
+    ctx.truncated <- true;
+    ctx.stop <- true
+  end
+  else begin
+    ctx.schedules <- ctx.schedules + 1;
+    ctx.check sim (List.rev rev_prefix)
+  end
+
+(* Single-replay DFS with sleep sets.
+
+   The recursion owns a live simulator positioned at the current node. The
+   first child is explored by stepping the live simulator forward (no
+   replay); each later sibling replays the prefix once. A maximal schedule
+   therefore costs O(depth) simulator turns instead of the seed's O(depth)
+   replays per node (O(depth^2) turns per schedule).
+
+   [sleep] is the sleep set of the node: pids whose next turn has already
+   been explored from an equivalent state along a sibling branch. When
+   [ctx.por] is set, enabled-but-sleeping pids are pruned; a child's sleep
+   set keeps exactly the sleepers (plus earlier siblings) whose pending turn
+   commutes with the branching turn. *)
+let rec dfs ctx sim rev_prefix depth sleep =
+  if not ctx.stop then
+    match Sim.runnable sim with
+    | [] -> leaf ctx sim rev_prefix
+    | enabled ->
+        if depth >= ctx.max_depth then begin
+          ctx.truncated_runs <- ctx.truncated_runs + 1;
+          ctx.truncated <- true;
+          if budget_spent ctx then ctx.stop <- true
+        end
+        else begin
+          let sleeping, candidates =
+            if ctx.por then List.partition (fun p -> List.mem p sleep) enabled
+            else ([], enabled)
+          in
+          ctx.pruned <- ctx.pruned + List.length sleeping;
+          let fps = List.map (fun p -> (p, Sim.footprint sim p)) enabled in
+          let fp p = List.assoc p fps in
+          let child_sleep p explored =
+            if ctx.por then
+              List.filter
+                (fun q -> q <> p && Sim.footprints_commute (fp q) (fp p))
+                (sleeping @ explored)
+            else []
+          in
+          let rec branch sim explored = function
+            | [] -> ()
+            | p :: rest ->
+                if not ctx.stop then begin
+                  let sim =
+                    match sim with
+                    | Some s -> s
+                    | None -> replay ctx (List.rev rev_prefix)
+                  in
+                  let sl = child_sleep p explored in
+                  step ctx sim p;
+                  dfs ctx sim (p :: rev_prefix) (depth + 1) sl;
+                  branch None (p :: explored) rest
+                end
+          in
+          branch (Some sim) [] candidates
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Multicore fan-out                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type task = { t_prefix : int list (* execution order *); t_sleep : int list }
+
+(* Expand the root into a frontier of independent subtree tasks, enough to
+   keep [domains] workers busy. Expansion runs in the calling domain and
+   uses the same sleep-set rule as [dfs], so the union of the tasks covers
+   exactly the schedules the sequential engine would visit. Leaves met
+   during expansion are checked inline. *)
+let expand_frontier ctx ~target =
+  let frontier = Queue.create () in
+  Queue.add { t_prefix = []; t_sleep = [] } frontier;
+  let out = ref [] in
+  let budget_depth = 8 in
+  while (not ctx.stop) && Queue.length frontier > 0
+        && Queue.length frontier + List.length !out < target do
+    let t = Queue.pop frontier in
+    if List.length t.t_prefix >= budget_depth then out := t :: !out
     else begin
-      let sim = replay prefix in
+      let sim = replay ctx t.t_prefix in
       match Sim.runnable sim with
-      | [] ->
-          incr count;
-          check sim (List.rev prefix)
-      | rs ->
-          if depth >= max_depth then begin
-            incr count;
-            truncated := true;
-            check sim (List.rev prefix)
-          end
-          else List.iter (fun p -> dfs (p :: prefix) (depth + 1)) rs
+      | [] -> leaf ctx sim (List.rev t.t_prefix)
+      | enabled ->
+          let sleeping, candidates =
+            if ctx.por then List.partition (fun p -> List.mem p t.t_sleep) enabled
+            else ([], enabled)
+          in
+          ctx.pruned <- ctx.pruned + List.length sleeping;
+          let fps = List.map (fun p -> (p, Sim.footprint sim p)) enabled in
+          let fp p = List.assoc p fps in
+          let explored = ref [] in
+          List.iter
+            (fun p ->
+              let sl =
+                if ctx.por then
+                  List.filter
+                    (fun q -> q <> p && Sim.footprints_commute (fp q) (fp p))
+                    (sleeping @ !explored)
+                else []
+              in
+              Queue.add { t_prefix = t.t_prefix @ [ p ]; t_sleep = sl } frontier;
+              explored := p :: !explored)
+            candidates
+    end
+  done;
+  Queue.fold (fun acc t -> t :: acc) !out frontier
+
+let run_tasks ctx tasks =
+  match
+    List.iter
+      (fun t ->
+        if not ctx.stop then begin
+          let sim = replay ctx t.t_prefix in
+          dfs ctx sim (List.rev t.t_prefix) (List.length t.t_prefix) t.t_sleep
+        end)
+      tasks
+  with
+  | () -> (ctx, None)
+  | exception e -> (ctx, Some e)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let exhaustive ?(max_schedules = 200_000) ?(max_depth = 10_000) ?(por = false)
+    ?(domains = 1) ~n ~setup ~check () =
+  let t0 = Unix.gettimeofday () in
+  let run_count = Atomic.make 0 in
+  let mk () = mk_ctx ~n ~setup ~check ~por ~max_depth ~max_schedules ~run_count in
+  let ctxs, exns =
+    if domains <= 1 then begin
+      let ctx = mk () in
+      let sim = fresh_sim ctx in
+      dfs ctx sim [] 0 [];
+      ([ ctx ], [])
+    end
+    else begin
+      let root = mk () in
+      let tasks = expand_frontier root ~target:(4 * domains) in
+      let queue = Array.of_list tasks in
+      let next = Atomic.make 0 in
+      let worker () =
+        let ctx = mk () in
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= Array.length queue || ctx.stop then (ctx, None)
+          else
+            match run_tasks ctx [ queue.(i) ] with
+            | _, None -> loop ()
+            | _, Some _ as r -> r
+        in
+        loop ()
+      in
+      let others = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+      let mine = worker () in
+      let joined = mine :: Array.to_list (Array.map Domain.join others) in
+      ( root :: List.map fst joined,
+        List.filter_map snd joined )
     end
   in
-  dfs [] 0;
-  { schedules = !count; truncated = !truncated }
+  (match exns with e :: _ -> raise e | [] -> ());
+  let sum f = List.fold_left (fun acc c -> acc + f c) 0 ctxs in
+  {
+    schedules = sum (fun c -> c.schedules);
+    truncated = List.exists (fun c -> c.truncated) ctxs;
+    truncated_runs = sum (fun c -> c.truncated_runs);
+    pruned = sum (fun c -> c.pruned);
+    steps_replayed = sum (fun c -> c.steps);
+    wall_s = Unix.gettimeofday () -. t0;
+  }
 
 let random_runs ?(runs = 200) ?(seed = 42) ~n ~setup ~check () =
   let rng = Rng.create seed in

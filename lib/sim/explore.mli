@@ -1,20 +1,59 @@
-(** Bounded model checking of simulated algorithms.
+(** Bounded stateless model checking of simulated algorithms.
 
-    [exhaustive] enumerates every interleaving (schedule) of the spawned
-    processes up to a depth and node budget, re-running the simulation from
-    scratch for each prefix (continuations cannot be cloned, so replay is the
-    only sound way to branch). For the small algorithms of the paper — the
-    obstruction-free TAS module, the splitter, 2-process consensus — this
-    gives complete coverage of all executions with 2–3 processes. *)
+    [exhaustive] enumerates interleavings (schedules) of the spawned
+    processes. Continuations cannot be cloned, so branching requires
+    re-running the simulation from scratch — but unlike the seed
+    implementation, which replayed the whole prefix at {e every} DFS node
+    (O(depth²) simulator turns per schedule), the engine enumerates
+    schedules in leaf order with an explicit branch stack: the live
+    simulator is stepped forward along the current path and a prefix is
+    replayed only when backtracking to a node's next untried sibling, so a
+    maximal schedule costs O(depth) turns.
+
+    Two further accelerators are available:
+
+    - [~por:true] enables conflict-based partial-order reduction (sleep
+      sets). Two adjacent turns by different processes commute unless they
+      access the same object with at least one write/RMW
+      ({!Sim.footprints_commute}); branches whose first turn commutes with
+      an already-explored sibling branch are pruned, so (on acyclic spaces
+      like these terminating runs) at most one schedule per
+      Mazurkiewicz-equivalence class is checked. [check] must therefore be
+      insensitive to the order of commuting turns — true for final-state
+      properties and for the repo's linearizability checks. Requires all
+      shared objects to be allocated during [setup] (raises
+      [Invalid_argument] if a fiber allocates one mid-run).
+    - [~domains:k] with [k > 1] partitions the top-level branch frontier
+      across [k] OCaml domains (work queue, per-domain counters,
+      deterministic merge). Each subtree starts from a fresh simulator, so
+      workers share no simulator state — but [setup]/[check] closures run
+      concurrently and must be domain-safe. With the default [domains:1]
+      existing callers are fully sequential and deterministic. Counts are
+      deterministic for complete explorations; when the [max_schedules]
+      budget trips, which schedules were checked may vary between runs. *)
 
 type outcome = {
-  schedules : int;  (** maximal (or depth-truncated) schedules checked *)
+  schedules : int;  (** maximal schedules checked (never exceeds budget) *)
   truncated : bool;  (** true if a budget stopped the enumeration early *)
+  truncated_runs : int;
+      (** runs cut by [max_depth]; not counted as schedules, not checked *)
+  pruned : int;  (** branches pruned by partial-order reduction *)
+  steps_replayed : int;
+      (** total simulator turns executed, including backtrack replays *)
+  wall_s : float;  (** wall-clock seconds for the whole exploration *)
 }
+
+exception Replay_drift of int
+(** A recorded schedule could not be replayed because the pid was no longer
+    runnable — the simulation is not deterministic w.r.t. the schedule
+    (e.g. [setup] depends on mutable state outside the simulator). The seed
+    implementation silently skipped such pids, masking the drift. *)
 
 val exhaustive :
   ?max_schedules:int ->
   ?max_depth:int ->
+  ?por:bool ->
+  ?domains:int ->
   n:int ->
   setup:(Sim.t -> unit) ->
   check:(Sim.t -> Sim.pid list -> unit) ->
@@ -23,7 +62,11 @@ val exhaustive :
 (** [setup] must create shared objects and spawn all processes on the fresh
     simulator it receives. [check sim schedule] is called after each maximal
     run ([schedule] is the executed pid sequence); it should raise to report
-    a violation. Defaults: [max_schedules = 200_000], [max_depth = 10_000]. *)
+    a violation. [max_schedules] budgets {e terminated runs} — maximal
+    schedules and depth-truncated runs together — so exploration cost stays
+    bounded even on spaces where most runs exceed [max_depth]. Defaults:
+    [max_schedules = 200_000], [max_depth = 10_000], [por = false],
+    [domains = 1]. *)
 
 val random_runs :
   ?runs:int ->

@@ -230,6 +230,18 @@ let spawn t pid f =
 let is_runnable t pid =
   match t.status.(pid) with Ready _ | Blocked _ -> true | Idle | Done | Crashed -> false
 
+type footprint = Local | Access of int * Op.kind
+
+let footprint t pid =
+  match t.status.(pid) with
+  | Blocked (Pending (op, _)) -> Access (op.Op.obj, op.Op.kind)
+  | Ready _ | Idle | Done | Crashed -> Local
+
+let footprints_commute a b =
+  match (a, b) with
+  | Local, _ | _, Local -> true
+  | Access (o1, k1), Access (o2, k2) -> o1 <> o2 || (k1 = Op.Read && k2 = Op.Read)
+
 let runnable t =
   let rec go i acc = if i < 0 then acc else go (i - 1) (if is_runnable t i then i :: acc else acc) in
   go (t.n - 1) []

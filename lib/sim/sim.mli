@@ -89,6 +89,28 @@ val is_runnable : t -> pid -> bool
 val finished : t -> pid -> bool
 val all_done : t -> bool
 
+(** {1 Step footprints}
+
+    The shared-memory footprint of the next scheduler turn of a process, used
+    by {!Explore} for conflict-based partial-order reduction. A process
+    blocked on a memory operation will execute exactly that operation on its
+    next turn; a freshly spawned ([Ready]) process only advances through
+    process-local code to its first operation, which touches no shared
+    object. *)
+
+type footprint =
+  | Local  (** next turn performs no shared-memory operation *)
+  | Access of int * Op.kind  (** next turn executes [kind] on object [id] *)
+
+val footprint : t -> pid -> footprint
+(** Footprint of [pid]'s next turn ([Local] for non-runnable processes). *)
+
+val footprints_commute : footprint -> footprint -> bool
+(** Two adjacent turns by different processes commute (executing them in
+    either order yields the same state) unless both access the same object
+    and at least one access is a write or an RMW. [Local] turns commute with
+    everything. *)
+
 val step : t -> pid -> unit
 (** Let [pid] take one scheduler turn: execute its pending memory operation
     (if any) and run it up to its next operation or completion. The first

@@ -10,14 +10,16 @@
 
     {b Reproduction finding (strict mode).} As published, the composed
     algorithm [A1 ∘ A2] is {e not} linearizable in the strict
-    Herlihy–Wing sense once n ≥ 4: two racers can abort with [W], a third
-    process then commits loser off [P ≠ ⊥] (line 9) while [V = 0], and a
-    {e later} process — invoked after that loser's response — aborts [W]
-    through lines 4–6 and wins the hardware object in [A2]. The trace
-    still admits a valid interpretation under Definition 2 (the paper's
-    correctness notion, which reads the Validity property globally), but
-    the loser's response precedes every candidate winner's invocation.
-    This also falsifies Invariant 4 of the Lemma 4 proof for n ≥ 4.
+    Herlihy–Wing sense once n ≥ 3: racing processes interfere and abort
+    with [W], one process commits loser off [P ≠ ⊥] (line 9) while
+    [V = 0], and a {e later} process — invoked after that loser's
+    response — aborts [W] through lines 4–6 and wins the hardware object
+    in [A2]. The trace still admits a valid interpretation under
+    Definition 2 (the paper's correctness notion, which reads the
+    Validity property globally), but the loser's response precedes every
+    candidate winner's invocation. This also falsifies Invariant 4 of the
+    Lemma 4 proof for n ≥ 3 (POR-complete exploration in [test_a1.ml];
+    minimal deterministic schedules in [test_findings.ml]).
 
     [create ~strict:true] restores strict linearizability by routing the
     loser commits of lines 9 and 11 through the interference protocol of

@@ -208,6 +208,58 @@ let long_lived ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ?(strict = false
   run_policy ~crashes sim policy (Rng.split rng);
   finish sim recorder
 
+(* ---- exhaustive one-shot exploration ---------------------------------- *)
+
+(* The per-domain "current trace" slot: [Explore.exhaustive] interleaves
+   setup / run / check sequentially within each worker domain, so
+   domain-local state is exactly the right scope for handing the trace
+   recorded during the last replay to the check that follows it. *)
+let explore_slot : (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.t option Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> None)
+
+let explore_one_shot ?max_schedules ?max_depth ?(por = false) ?(domains = 1) ~n ~algo () =
+  let bad = Atomic.make 0 in
+  let setup sim =
+    let module P = (val Scs_prims.Sim_prims.make sim) in
+    let tr = Trace.create ~clock:(fun () -> Sim.clock sim) () in
+    Domain.DLS.set explore_slot (Some tr);
+    let op =
+      match algo with
+      | Composed | Strict ->
+          let module OS = Scs_tas.One_shot.Make (P) in
+          let os = OS.create ~strict:(algo = Strict) ~name:"tas" () in
+          fun ~pid -> OS.test_and_set os ~pid
+      | Solo_fast ->
+          let module SF = Scs_tas.Solo_fast.Make (P) in
+          let sf = SF.create ~name:"sf" () in
+          fun ~pid -> SF.test_and_set sf ~pid
+      | Hardware ->
+          let module B = Scs_tas.Baselines.Make (P) in
+          let hw = B.Hardware.create ~name:"hw" () in
+          fun ~pid -> B.Hardware.test_and_set hw ~pid
+      | Tournament ->
+          let module B = Scs_tas.Baselines.Make (P) in
+          let tn = B.Tournament.create ~name:"agtv" ~n () in
+          let rngs = Array.init n (fun i -> Rng.create (i + 1)) in
+          fun ~pid -> B.Tournament.test_and_set tn ~pid ~rng:rngs.(pid)
+    in
+    for pid = 0 to n - 1 do
+      Sim.spawn sim pid (fun () ->
+          let req = Request.make pid Objects.Test_and_set in
+          Trace.invoke tr ~pid req;
+          let r = op ~pid in
+          Trace.commit tr ~pid req r)
+    done
+  in
+  let check _sim _sched =
+    let tr = Option.get (Domain.DLS.get explore_slot) in
+    if not (Tas_lin.check_one_shot (Trace.operations (Trace.events tr))) then
+      Atomic.incr bad
+  in
+  let outcome = Explore.exhaustive ?max_schedules ?max_depth ~por ~domains ~n ~setup ~check () in
+  (outcome, Atomic.get bad)
+
 let rounds_of result =
   let ops = Trace.operations result.outer in
   let tbl = Hashtbl.create 16 in

@@ -78,6 +78,23 @@ val rounds_of :
 (** Long-lived operations grouped by round, for
     {!Scs_history.Tas_lin.check_long_lived}. *)
 
+val explore_one_shot :
+  ?max_schedules:int ->
+  ?max_depth:int ->
+  ?por:bool ->
+  ?domains:int ->
+  n:int ->
+  algo:algo ->
+  unit ->
+  Explore.outcome * int
+(** Exhaustive bounded model checking of the one-shot workload: every
+    process performs exactly one [test_and_set], every maximal schedule's
+    client-level history is checked with the specialised TAS
+    linearizability checker. Returns the exploration outcome and the
+    number of non-linearizable schedules (0 = safe on every explored
+    interleaving). [por] and [domains] are passed through to
+    {!Explore.exhaustive}; the violation counter is domain-safe. *)
+
 (** {1 Derived judgements} *)
 
 val winners : result -> op_record list

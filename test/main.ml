@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.tests);
       ("sim", Test_sim.tests);
+      ("explore", Test_explore.tests);
       ("spec", Test_spec.tests);
       ("history", Test_history.tests);
       ("splitter", Test_splitter.tests);

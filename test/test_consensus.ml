@@ -12,7 +12,7 @@ open Scs_workload
 
 type mk = { mk : 'a. (module Scs_prims.Prims_intf.S) -> n:int -> int Consensus_intf.t }
 
-let exhaustive_safety ?(max_schedules = 60_000) ~n make_instance =
+let exhaustive_safety ?(max_schedules = 60_000) ?(por = false) ~n make_instance =
   let outcomes = Array.make n None in
   let setup sim =
     Array.fill outcomes 0 n None;
@@ -37,7 +37,7 @@ let exhaustive_safety ?(max_schedules = 60_000) ~n make_instance =
       (fun d -> if d < 100 || d >= 100 + n then bad := ("invalid decision", sched) :: !bad)
       decisions
   in
-  let outcome = Explore.exhaustive ~max_schedules ~n ~setup ~check () in
+  let outcome = Explore.exhaustive ~max_schedules ~por ~n ~setup ~check () in
   (outcome, !bad)
 
 let split_mk =
@@ -80,8 +80,14 @@ let chain_mk =
           ]);
   }
 
-let check_exhaustive name ?(max_schedules = 60_000) ~n mk () =
-  let _, bad = exhaustive_safety ~max_schedules ~n mk in
+(* [complete] asserts the space was fully explored (agreement and validity
+   are functions of the decided values, so POR's per-class representatives
+   certify the whole space) *)
+let check_exhaustive name ?(max_schedules = 60_000) ?(por = false) ?(complete = false) ~n mk
+    () =
+  let outcome, bad = exhaustive_safety ~max_schedules ~por ~n mk in
+  if complete then
+    Alcotest.(check bool) (name ^ ": full coverage") false outcome.Explore.truncated;
   Alcotest.(check int) (name ^ ": no safety violations") 0 (List.length bad)
 
 (* ---- random-schedule safety over larger configurations -------------- *)
@@ -287,12 +293,20 @@ let test_tas_consensus_exhaustive () =
 
 let tests =
   [
-    Alcotest.test_case "split exhaustive n=2" `Quick (check_exhaustive "split" ~n:2 split_mk);
+    (* the plain split n=2 space is 875,780 schedules — the seed engine's
+       60k default budget covered 7% of it; POR certifies all of it
+       through 470 representatives *)
+    Alcotest.test_case "split exhaustive n=2 (POR-complete)" `Quick
+      (check_exhaustive "split" ~por:true ~complete:true ~n:2 split_mk);
     Alcotest.test_case "split exhaustive n=3 (budget)" `Slow
       (check_exhaustive "split" ~max_schedules:40_000 ~n:3 split_mk);
-    Alcotest.test_case "bakery exhaustive n=2 (budget)" `Slow
-      (check_exhaustive "bakery" ~max_schedules:40_000 ~n:2 bakery_mk);
-    Alcotest.test_case "cas exhaustive n=2" `Quick (check_exhaustive "cas" ~n:2 cas_mk);
+    (* the plain bakery n=2 space dwarfs the old 40k budget; POR covers
+       all of it through ~2.6k representatives in under a second *)
+    Alcotest.test_case "bakery exhaustive n=2 (POR-complete)" `Quick
+      (check_exhaustive "bakery" ~por:true ~complete:true ~max_schedules:100_000 ~n:2
+         bakery_mk);
+    Alcotest.test_case "cas exhaustive n=2" `Quick
+      (check_exhaustive "cas" ~complete:true ~n:2 cas_mk);
     Alcotest.test_case "chain exhaustive n=2 (budget)" `Slow
       (check_exhaustive "chain" ~max_schedules:40_000 ~n:2 chain_mk);
     Alcotest.test_case "split random n=6" `Quick (fun () ->

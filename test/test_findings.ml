@@ -2,16 +2,21 @@
    paper's claims need qualification. See DESIGN.md ("Findings") and the
    A1 interface documentation.
 
-   F-1. For n >= 4 the composed A1∘A2 algorithm (verbatim Algorithm 1 + 2)
+   F-1. For n >= 3 the composed A1∘A2 algorithm (verbatim Algorithm 1 + 2)
         admits crash-free executions that are NOT linearizable in the
         strict Herlihy–Wing sense: a loser can commit before any eventual
         winner candidate is invoked. The executions still satisfy the
         paper's own correctness notion — a valid Definition 2
         interpretation exists — and winner uniqueness is never violated.
+        The n = 3 boundary was found by the POR-complete explorer (the
+        seed engine's 25k-schedule budget never reached it; seed-based
+        random search below only hits it from n = 4); the minimal
+        counterexample schedule is replayed deterministically here.
 
    F-2. Invariant 4 of the Lemma 4 proof ("no operation that aborts with W
         may start after an operation commits loser") is falsified by the
-        same executions, already at the level of module A1 alone.
+        same executions, already at the level of module A1 alone — and
+        likewise from n = 3 on, as the POR-complete exploration shows.
 
    F-3. The strict variant (losing only after observing V = 1) restores
         strict linearizability, at the price of weakening the fast path's
@@ -27,6 +32,50 @@ open Scs_workload
 (* Deterministic seeds found by search; reproducibility is guaranteed by
    the SplitMix64 streams. *)
 let counterexample_seeds = [ (4, 1978); (5, 456); (5, 826) ]
+
+(* The minimal-n counterexample: an exact 3-process schedule (step i hands
+   the turn to process [sched.(i)]) under which p0 commits Loser before
+   the eventual winner p2 has even invoked. Found by the POR-based
+   exhaustive explorer; replayed here without any exploration machinery. *)
+let f1_schedule_n3 = [ 0; 0; 0; 0; 1; 1; 1; 1; 1; 0; 1; 1; 0; 1; 1; 1; 2; 2; 2; 2; 1 ]
+
+let test_f1_minimal_n3_schedule () =
+  let n = 3 in
+  let sim = Sim.create ~n () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module OS = Scs_tas.One_shot.Make (P) in
+  let os = OS.create ~strict:false ~name:"tas" () in
+  let tr = Trace.create ~clock:(fun () -> Sim.clock sim) () in
+  for pid = 0 to n - 1 do
+    Sim.spawn sim pid (fun () ->
+        let req = Request.make pid Objects.Test_and_set in
+        Trace.invoke tr ~pid req;
+        let r = OS.test_and_set os ~pid in
+        Trace.commit tr ~pid req r)
+  done;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "scheduled process is runnable" true (Sim.is_runnable sim p);
+      Sim.step sim p)
+    f1_schedule_n3;
+  Alcotest.(check bool) "schedule is maximal" true (Sim.all_done sim);
+  let evs = Trace.events tr in
+  let ops = Trace.operations evs in
+  Alcotest.(check bool) "not strictly linearizable" false (Tas_lin.check_one_shot ops);
+  Alcotest.(check bool) "generic checker agrees" false
+    (Linearize.check_operations Objects.tas ops);
+  (match Tas_interp.check_events evs with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "interpretation should exist: %s" e);
+  let winners =
+    List.filter
+      (fun (o : _ Trace.operation) ->
+        match o.Trace.outcome with
+        | Trace.Committed { resp = Objects.Winner; _ } -> true
+        | _ -> false)
+      ops
+  in
+  Alcotest.(check int) "one winner" 1 (List.length winners)
 
 let test_f1_composed_not_strictly_linearizable () =
   let confirmed = ref 0 in
@@ -58,6 +107,57 @@ let test_f1_strict_fixes_the_seeds () =
         (Printf.sprintf "strict linearizable at n=%d seed=%d" n seed)
         true (Tas_lin.check_one_shot ops))
     counterexample_seeds
+
+(* the same turn-by-turn schedule violates Invariant 4 on the bare A1 at
+   n = 3 (the composed replay above takes 21 steps because losers continue
+   into A2; bare A1 finishes in 19) *)
+let f2_schedule_n3 = [ 0; 0; 0; 0; 1; 1; 1; 1; 1; 0; 1; 1; 0; 1; 1; 1; 2; 2; 2 ]
+
+let test_f2_minimal_n3_schedule () =
+  let n = 3 in
+  let sim = Sim.create ~n () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module A1 = Scs_tas.A1.Make (P) in
+  let a1 = A1.create ~name:"a1" () in
+  let tr = Trace.create ~clock:(fun () -> Sim.clock sim) () in
+  for pid = 0 to n - 1 do
+    Sim.spawn sim pid (fun () ->
+        let req = Request.make pid Objects.Test_and_set in
+        Trace.invoke tr ~pid req;
+        match A1.apply a1 ~pid None with
+        | Outcome.Commit r -> Trace.commit tr ~pid req r
+        | Outcome.Abort v -> Trace.abort tr ~pid req v)
+  done;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "scheduled process is runnable" true (Sim.is_runnable sim p);
+      Sim.step sim p)
+    f2_schedule_n3;
+  Alcotest.(check bool) "schedule is maximal" true (Sim.all_done sim);
+  let ops = Trace.operations (Trace.events tr) in
+  let resp_seq (o : _ Trace.operation) =
+    match o.Trace.outcome with
+    | Trace.Committed { resp_seq; _ } | Trace.Aborted { resp_seq; _ } -> resp_seq
+    | Trace.Pending -> max_int
+  in
+  let losers =
+    List.filter
+      (fun (o : _ Trace.operation) ->
+        match o.Trace.outcome with
+        | Trace.Committed { resp = Objects.Loser; _ } -> true
+        | _ -> false)
+      ops
+  in
+  let first_loser = List.fold_left (fun m o -> min m (resp_seq o)) max_int losers in
+  let late_w_abort =
+    List.exists
+      (fun (o : _ Trace.operation) ->
+        match o.Trace.outcome with
+        | Trace.Aborted { switch = Tas_switch.W; _ } -> o.Trace.invoke_seq > first_loser
+        | _ -> false)
+      ops
+  in
+  Alcotest.(check bool) "W-abort invoked after a loser committed" true late_w_abort
 
 let test_f2_invariant4_fails_at_n4 () =
   (* module A1 alone: find an execution where a W-abort is invoked after a
@@ -125,11 +225,16 @@ let test_f3_strict_sequential_all_fast () =
 
 let tests =
   [
-    Alcotest.test_case "F-1: composed not strictly linearizable (n>=4)" `Quick
+    Alcotest.test_case "F-1: minimal n=3 counterexample schedule" `Quick
+      test_f1_minimal_n3_schedule;
+    Alcotest.test_case "F-1: composed not strictly linearizable (n>=3)" `Quick
       test_f1_composed_not_strictly_linearizable;
     Alcotest.test_case "F-1: strict variant fixes the counterexamples" `Quick
       test_f1_strict_fixes_the_seeds;
-    Alcotest.test_case "F-2: Invariant 4 fails at n=4" `Quick test_f2_invariant4_fails_at_n4;
+    Alcotest.test_case "F-2: minimal n=3 counterexample schedule" `Quick
+      test_f2_minimal_n3_schedule;
+    Alcotest.test_case "F-2: Invariant 4 fails under random search (n=4)" `Quick
+      test_f2_invariant4_fails_at_n4;
     Alcotest.test_case "F-3: strict keeps solo cost" `Quick test_f3_strict_still_fast_solo;
     Alcotest.test_case "F-3: strict sequential register-only" `Quick
       test_f3_strict_sequential_all_fast;

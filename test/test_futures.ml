@@ -192,7 +192,12 @@ let test_fai_exhaustive_2 () =
     let tr = Option.get !current in
     if not (Linearize.check_events Objects.fetch_and_increment (Trace.events tr)) then incr bad
   in
-  let outcome = Explore.exhaustive ~max_schedules:120_000 ~n:2 ~setup ~check () in
+  (* the plain n=2 space exceeds 20M schedules (the seed engine's 120k
+     budget sampled under 1% of it); sleep-set POR covers the whole space
+     through ~1.7k class representatives in about a second *)
+  let outcome = Explore.exhaustive ~max_schedules:120_000 ~por:true ~n:2 ~setup ~check () in
+  Alcotest.(check bool) "full POR coverage" false outcome.Explore.truncated;
+  Alcotest.(check bool) "POR pruned schedules" true (outcome.Explore.pruned > 0);
   Alcotest.(check int) "linearizable on all explored schedules" 0 !bad;
   Alcotest.(check bool) "substantial coverage" true (outcome.Explore.schedules > 1000)
 
@@ -207,5 +212,5 @@ let tests =
     Alcotest.test_case "state-only transfer breaks (negative)" `Quick
       test_state_only_transfer_breaks;
     Alcotest.test_case "fai linearizable + distinct" `Quick test_fai_linearizable_and_distinct;
-    Alcotest.test_case "fai exhaustive n=2 (budget)" `Slow test_fai_exhaustive_2;
+    Alcotest.test_case "fai exhaustive n=2 (POR-complete)" `Slow test_fai_exhaustive_2;
   ]
