@@ -230,6 +230,190 @@ let explore_cmd =
          "Exhaustively enumerate interleavings of a one-shot TAS run and check strict           linearizability on each (bounded model checking).")
     Term.(const run $ n_arg $ tas_algo_arg $ budget_arg $ por_arg $ domains_arg)
 
+(* ---- fuzz ------------------------------------------------------------------ *)
+
+let print_fuzz_report (r : Fuzz.report) =
+  let rows =
+    List.map
+      (fun (s : Fuzz.policy_stats) ->
+        [
+          s.Fuzz.s_policy;
+          string_of_int s.Fuzz.s_runs;
+          Printf.sprintf "%.0f" (Fuzz.schedules_per_sec s);
+          string_of_int s.Fuzz.s_violations;
+          string_of_int s.Fuzz.s_skipped;
+          (match s.Fuzz.s_first_failure with
+          | Some (run, t) -> Printf.sprintf "run %d (%.1f ms)" run (1000. *. t)
+          | None -> "-");
+        ])
+      r.Fuzz.r_stats
+  in
+  Scs_util.Table.print
+    ~title:(Printf.sprintf "fuzz %s n=%d seed=%d" r.Fuzz.r_workload r.Fuzz.r_n r.Fuzz.r_seed)
+    ~header:[ "policy"; "runs"; "sched/s"; "viol"; "skip"; "first failure" ]
+    rows
+
+let fuzz_cmd =
+  let workload_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Workload to fuzz (see $(b,--list-workloads)); $(b,all) fuzzes every workload \
+             that is expected to hold.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list-workloads" ] ~doc:"List fuzz workloads and exit.")
+  in
+  let n_opt_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "n"; "processes" ] ~docv:"N" ~doc:"Process count (default: per workload).")
+  in
+  let runs_arg =
+    Arg.(value & opt int 1000 & info [ "runs" ] ~docv:"K" ~doc:"Schedules per policy.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS" ~doc:"Wall-clock budget per policy.")
+  in
+  let max_viol_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "max-violations" ] ~docv:"M" ~doc:"Stop a workload after $(docv) violations.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "out" ] ~docv:"DIR" ~doc:"Directory for emitted .scsrepro artifacts.")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Emit raw failing schedules unshrunk.")
+  in
+  let run workload list_workloads n_opt runs budget max_violations seed out no_shrink =
+    if list_workloads then begin
+      List.iter
+        (fun (w : Fuzz_run.t) ->
+          Printf.printf "%-16s n=%d%s  %s\n" w.Fuzz_run.name w.Fuzz_run.default_n
+            (if w.Fuzz_run.expect_failures then " [expect-failures]" else "")
+            w.Fuzz_run.describe)
+        Fuzz_run.all;
+      exit 0
+    end;
+    let workloads =
+      match workload with
+      | "all" -> List.filter (fun w -> not w.Fuzz_run.expect_failures) Fuzz_run.all
+      | name -> (
+          match Fuzz_run.find name with
+          | Some w -> [ w ]
+          | None ->
+              Printf.eprintf "unknown workload %s (try --list-workloads)\n" name;
+              exit 1)
+    in
+    let found = ref 0 in
+    List.iter
+      (fun (w : Fuzz_run.t) ->
+        let n = Option.value n_opt ~default:w.Fuzz_run.default_n in
+        let report =
+          Fuzz_run.fuzz ?time_budget:budget ~runs ~max_violations ~seed w ~n
+        in
+        print_fuzz_report report;
+        List.iter
+          (fun (v : Fuzz.violation) ->
+            incr found;
+            Printf.printf "\nviolation in %s under %s (run seed %d): %s\n" v.Fuzz.v_workload
+              v.Fuzz.v_policy v.Fuzz.v_seed v.Fuzz.v_error;
+            let schedule, crashes =
+              if no_shrink then (v.Fuzz.v_schedule, v.Fuzz.v_crashes)
+              else begin
+                let (sched, crs), (st : Shrink.stats) =
+                  Fuzz_run.shrink w ~n ~schedule:v.Fuzz.v_schedule ~crashes:v.Fuzz.v_crashes
+                in
+                Printf.printf
+                  "shrunk %d -> %d turns (%d replays, %d reductions, %d drifts, %d rounds)\n"
+                  st.Shrink.orig_len st.Shrink.final_len st.Shrink.attempts
+                  st.Shrink.accepted st.Shrink.drifted st.Shrink.rounds;
+                (sched, crs)
+              end
+            in
+            print_endline (Fuzz.render_lanes ~n ~schedule ~crashes ());
+            let repro =
+              { (Fuzz.Repro.of_violation v) with Fuzz.Repro.schedule; crashes }
+            in
+            let path =
+              Filename.concat out
+                (Printf.sprintf "%s-n%d-%d.scsrepro" v.Fuzz.v_workload n v.Fuzz.v_seed)
+            in
+            Fuzz.Repro.save path repro;
+            Printf.printf "repro written to %s\n" path)
+          report.Fuzz.r_violations;
+        print_newline ())
+      workloads;
+    if !found > 0 then exit 2
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Randomized schedule fuzzing under a policy portfolio; failing runs are shrunk to \
+          minimal deterministic schedules and written as .scsrepro artifacts (exit status 2 \
+          when violations were found).")
+    Term.(
+      const run $ workload_arg $ list_arg $ n_opt_arg $ runs_arg $ budget_arg $ max_viol_arg
+      $ seed_arg $ out_arg $ no_shrink_arg)
+
+(* ---- replay ---------------------------------------------------------------- *)
+
+let replay_cmd =
+  let files_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:".scsrepro artifacts.")
+  in
+  let lanes_arg =
+    Arg.(value & flag & info [ "lanes" ] ~doc:"Render the per-process schedule lanes.")
+  in
+  let run files lanes =
+    let failed = ref false in
+    List.iter
+      (fun file ->
+        let r = Fuzz.Repro.load file in
+        match Fuzz_run.find r.Fuzz.Repro.workload with
+        | None ->
+            Printf.eprintf "%s: unknown workload %s\n" file r.Fuzz.Repro.workload;
+            failed := true
+        | Some w ->
+            let n = r.Fuzz.Repro.n in
+            if lanes then
+              print_endline
+                (Fuzz.render_lanes
+                   ~title:(Printf.sprintf "%s (%s)" file r.Fuzz.Repro.error)
+                   ~n ~schedule:r.Fuzz.Repro.schedule ~crashes:r.Fuzz.Repro.crashes ());
+            let outcome =
+              Fuzz_run.replay w ~n ~schedule:r.Fuzz.Repro.schedule
+                ~crashes:r.Fuzz.Repro.crashes
+            in
+            let describe =
+              match outcome with
+              | Fuzz_run.Violates msg -> Printf.sprintf "violation reproduced: %s" msg
+              | Fuzz_run.Passes -> "check PASSED: recorded violation did not reproduce"
+              | Fuzz_run.Skipped msg -> "skipped: " ^ msg
+              | Fuzz_run.Drifted p -> Printf.sprintf "replay drift at pid %d" p
+            in
+            Printf.printf "%s [%s n=%d %d turns]: %s\n" file r.Fuzz.Repro.workload n
+              (Array.length r.Fuzz.Repro.schedule) describe;
+            if outcome <> Fuzz_run.Violates r.Fuzz.Repro.error then
+              match outcome with
+              | Fuzz_run.Violates _ -> () (* different message, still a violation *)
+              | _ -> failed := true)
+      files;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Deterministically replay .scsrepro artifacts with strict scripting; exit status 0 \
+          iff every recorded violation re-triggers.")
+    Term.(const run $ files_arg $ lanes_arg)
+
 (* ---- main ---------------------------------------------------------------- *)
 
 let () =
@@ -237,4 +421,16 @@ let () =
     Cmd.info "scs" ~version:"1.0.0"
       ~doc:"Safely composable shared-memory algorithms (SPAA 2012 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; simulate_cmd; consensus_cmd; check_cmd; explore_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            experiment_cmd;
+            simulate_cmd;
+            consensus_cmd;
+            check_cmd;
+            explore_cmd;
+            fuzz_cmd;
+            replay_cmd;
+          ]))

@@ -77,7 +77,12 @@ module Make (P : Scs_prims.Prims_intf.S) = struct
          end
     in
     if committed then begin
-      P.write t.dec vi;
+      (* a ⊥-phase commit is not a decision: writing [Dec := None] here
+         could clobber a real decision that landed concurrently, and the
+         chain's leave-probe reads [Dec] to learn exactly that decision
+         (found by schedule fuzzing: sticky policy, n = 3). Mirror
+         Split_consensus: [Dec] moves ⊥ → [Some v] only. *)
+      (match vi with Some _ -> P.write t.dec vi | None -> ());
       Outcome.Commit vi
     end
     else begin

@@ -16,6 +16,11 @@ let all =
       title = "Explorer throughput: single-replay DFS, POR, multicore fan-out";
       run = Exp_t10.run;
     };
+    {
+      id = "T11";
+      title = "Fuzzing throughput, time-to-first-failure, shrinking";
+      run = Exp_t11.run;
+    };
     { id = "F1"; title = "Figure 1 dynamics: contention sweep"; run = Exp_f1.run };
     { id = "F2"; title = "Native multicore throughput"; run = Exp_f2.run };
   ]

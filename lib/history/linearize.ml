@@ -17,12 +17,16 @@ let split_ops ops =
     ops;
   (Array.of_list (List.rev !comp), Array.of_list (List.rev !pend))
 
+let max_operations = 62
+
+exception Capacity_exceeded of int
+
 let check_operations (spec : _ Spec.t) ops =
   let comp, pend = split_ops ops in
   let nc = Array.length comp in
   let np = Array.length pend in
   let n = nc + np in
-  if n > 62 then invalid_arg "Linearize.check_operations: more than 62 operations";
+  if n > max_operations then raise (Capacity_exceeded n);
   let all_completed_mask = if nc = 0 then 0 else (1 lsl nc) - 1 in
   let inv i = if i < nc then comp.(i).c_inv else pend.(i - nc).p_inv in
   (* Memo table: mask -> list of object states already explored there. *)

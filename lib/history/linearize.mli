@@ -14,8 +14,17 @@
 
 open Scs_spec
 
+val max_operations : int
+(** Capacity of the bitmask search: 62 operations (the linearized set is
+    a word-sized bitmask). *)
+
+exception Capacity_exceeded of int
+(** Raised (with the offending operation count) when a trace exceeds
+    {!max_operations}. Fuzzing harnesses catch this and count the run as
+    skipped instead of dying mid-batch. *)
+
 val check_operations : ('q, 'i, 'r) Spec.t -> ('i, 'r, 'v) Trace.operation list -> bool
-(** Raises [Invalid_argument] beyond 62 operations. *)
+(** Raises {!Capacity_exceeded} beyond {!max_operations} operations. *)
 
 val check_events : ('q, 'i, 'r) Spec.t -> ('i, 'r, 'v) Trace.event array -> bool
 (** [check_operations] composed with {!Trace.operations}. *)

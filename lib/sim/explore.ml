@@ -9,7 +9,7 @@ type outcome = {
   wall_s : float;
 }
 
-exception Replay_drift of int
+exception Replay_drift = Policy.Replay_drift
 
 (* Per-engine mutable state. One [ctx] per worker domain; [run_count] is
    the only piece shared between workers: the global budget over

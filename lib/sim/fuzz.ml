@@ -1,0 +1,284 @@
+open Scs_util
+
+exception Violation of string
+exception Skip of string
+
+type sched_kind = Uniform | Sticky of float | Weighted | Pct of int
+
+type policy_spec = { kind : sched_kind; crash_faults : bool }
+
+let spec_name { kind; crash_faults } =
+  let base =
+    match kind with
+    | Uniform -> "uniform"
+    | Sticky p -> Printf.sprintf "sticky(%.2f)" p
+    | Weighted -> "weighted"
+    | Pct k -> Printf.sprintf "pct(%d)" k
+  in
+  if crash_faults then base ^ "+crash" else base
+
+let default_portfolio =
+  [
+    { kind = Uniform; crash_faults = false };
+    { kind = Sticky 0.25; crash_faults = false };
+    { kind = Weighted; crash_faults = false };
+    { kind = Pct 3; crash_faults = false };
+    { kind = Uniform; crash_faults = true };
+  ]
+
+type violation = {
+  v_workload : string;
+  v_n : int;
+  v_policy : string;
+  v_seed : int;
+  v_schedule : int array;
+  v_crashes : (Sim.pid * int) list;
+  v_error : string;
+}
+
+type policy_stats = {
+  s_policy : string;
+  s_runs : int;
+  s_turns : int;
+  s_violations : int;
+  s_skipped : int;
+  s_wall : float;
+  s_first_failure : (int * float) option;
+      (** run index and wall-clock seconds of the first violation *)
+}
+
+type report = {
+  r_workload : string;
+  r_n : int;
+  r_seed : int;
+  r_stats : policy_stats list;
+  r_violations : violation list;
+}
+
+let schedules_per_sec s = if s.s_wall > 0.0 then float_of_int s.s_runs /. s.s_wall else 0.0
+
+let base_policy kind rng n =
+  match kind with
+  | Uniform -> Policy.random rng
+  | Sticky p -> Policy.sticky rng ~switch_prob:p
+  | Weighted ->
+      (* fresh skewed positive weights per run: biased schedulers reach
+         interleavings uniform sampling essentially never produces *)
+      let w = Array.init n (fun _ -> float_of_int (1 lsl Rng.int rng 5)) in
+      Policy.weighted rng w
+  | Pct k -> Policy.pct rng ~k ~depth:(16 * n)
+
+let gen_crashes rng n max_crash_steps =
+  List.filter_map
+    (fun p ->
+      if Rng.bernoulli rng 0.25 then Some (p, 1 + Rng.int rng max_crash_steps)
+      else None)
+    (List.init n (fun p -> p))
+
+(* Replay a captured [(schedule, crashes)] pair against a fresh simulator.
+   Strict scripting: any divergence from the recorded schedule raises
+   [Policy.Replay_drift] instead of silently executing a different run.
+   The crash wrapper sits outside the script, mirroring the fuzz loop
+   ([with_crashes] fires on [Sim.steps_of], which evolves identically for
+   identical executed turn prefixes). *)
+let replay ?max_steps ~n ~setup ~schedule ~crashes () =
+  let sim = Sim.create ?max_steps ~n () in
+  setup sim;
+  Sim.run sim (Policy.with_crashes crashes (Policy.scripted ~strict:true schedule));
+  sim
+
+let now = Unix.gettimeofday
+
+let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
+    ?(max_violations = max_int) ?(seed = 1) ?max_steps ?(max_crash_steps = 15)
+    ~workload ~n ~setup ~check () =
+  let violations = ref [] in
+  let stats =
+    List.mapi
+      (fun idx spec ->
+        let name = spec_name spec in
+        let prng = Rng.create (seed + (0x9E3779B9 * (idx + 1))) in
+        let t0 = now () in
+        let nrun = ref 0 and nturn = ref 0 in
+        let sviol = ref 0 and nskip = ref 0 in
+        let first = ref None in
+        let keep_going () =
+          !nrun < runs
+          && !sviol < max_violations
+          && match time_budget with None -> true | Some b -> now () -. t0 < b
+        in
+        while keep_going () do
+          let run_seed = Rng.int prng 0x3FFFFFFF in
+          let rng = Rng.create run_seed in
+          let sim = Sim.create ?max_steps ~n () in
+          setup sim;
+          let crashes =
+            if spec.crash_faults then gen_crashes rng n max_crash_steps else []
+          in
+          let buf = Vec.create () in
+          let pol =
+            Policy.with_crashes crashes (Policy.capture buf (base_policy spec.kind rng n))
+          in
+          (try
+             Sim.run sim pol;
+             check sim
+           with
+          | Violation msg ->
+              incr sviol;
+              if !first = None then first := Some (!nrun, now () -. t0);
+              violations :=
+                {
+                  v_workload = workload;
+                  v_n = n;
+                  v_policy = name;
+                  v_seed = run_seed;
+                  v_schedule = Vec.to_array buf;
+                  v_crashes = crashes;
+                  v_error = msg;
+                }
+                :: !violations
+          | Skip _ | Sim.Livelock _ -> incr nskip);
+          nturn := !nturn + Vec.length buf;
+          incr nrun
+        done;
+        {
+          s_policy = name;
+          s_runs = !nrun;
+          s_turns = !nturn;
+          s_violations = !sviol;
+          s_skipped = !nskip;
+          s_wall = now () -. t0;
+          s_first_failure = !first;
+        })
+      policies
+  in
+  {
+    r_workload = workload;
+    r_n = n;
+    r_seed = seed;
+    r_stats = stats;
+    r_violations = List.rev !violations;
+  }
+
+(* {1 Repro artifacts} *)
+
+module Repro = struct
+  type t = {
+    workload : string;
+    n : int;
+    seed : int;
+    policy : string;
+    error : string;
+    crashes : (Sim.pid * int) list;
+    schedule : int array;
+  }
+
+  let of_violation (v : violation) =
+    {
+      workload = v.v_workload;
+      n = v.v_n;
+      seed = v.v_seed;
+      policy = v.v_policy;
+      error = v.v_error;
+      crashes = v.v_crashes;
+      schedule = v.v_schedule;
+    }
+
+  let to_string r =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "scsrepro 1\n";
+    Printf.bprintf b "workload %s\n" r.workload;
+    Printf.bprintf b "n %d\n" r.n;
+    Printf.bprintf b "seed %d\n" r.seed;
+    Printf.bprintf b "policy %s\n" r.policy;
+    Printf.bprintf b "error %s\n" r.error;
+    (match r.crashes with
+    | [] -> Buffer.add_string b "crashes -\n"
+    | cs ->
+        Printf.bprintf b "crashes %s\n"
+          (String.concat "," (List.map (fun (p, k) -> Printf.sprintf "%d@%d" p k) cs)));
+    Printf.bprintf b "schedule %s\n"
+      (String.concat " " (Array.to_list (Array.map string_of_int r.schedule)));
+    Buffer.contents b
+
+  let fail fmt = Printf.ksprintf (fun s -> failwith ("Repro.of_string: " ^ s)) fmt
+
+  let of_string s =
+    let lines =
+      String.split_on_char '\n' s
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let field name line =
+      let prefix = name ^ " " in
+      let pl = String.length prefix in
+      if String.length line >= pl && String.sub line 0 pl = prefix then
+        String.sub line pl (String.length line - pl)
+      else fail "expected %S line, got %S" name line
+    in
+    match lines with
+    | magic :: rest when String.trim magic = "scsrepro 1" -> (
+        match rest with
+        | [ lw; ln; ls; lp; le; lc; lsched ] ->
+            let crashes =
+              match field "crashes" lc with
+              | "-" -> []
+              | cs ->
+                  String.split_on_char ',' cs
+                  |> List.map (fun c ->
+                         match String.split_on_char '@' c with
+                         | [ p; k ] -> (int_of_string p, int_of_string k)
+                         | _ -> fail "bad crash entry %S" c)
+            in
+            let schedule =
+              field "schedule" lsched |> String.split_on_char ' '
+              |> List.filter (fun x -> x <> "")
+              |> List.map int_of_string |> Array.of_list
+            in
+            {
+              workload = field "workload" lw;
+              n = int_of_string (field "n" ln);
+              seed = int_of_string (field "seed" ls);
+              policy = field "policy" lp;
+              error = field "error" le;
+              crashes;
+              schedule;
+            }
+        | _ -> fail "expected 7 fields, got %d" (List.length rest))
+    | l :: _ -> fail "bad magic %S" l
+    | [] -> fail "empty input"
+
+  let save path r =
+    let oc = open_out path in
+    output_string oc (to_string r);
+    close_out oc
+
+  let load path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    of_string s
+end
+
+(* {1 Lane rendering} *)
+
+let render_lanes ?(title = "failing schedule") ~n ~schedule ~crashes () =
+  let len = Array.length schedule in
+  (* ASCII only: Table pads cells by byte length *)
+  let lane p = String.init len (fun i -> if schedule.(i) = p then '#' else '.') in
+  let rows =
+    List.init n (fun p ->
+        let crash =
+          match List.assoc_opt p crashes with
+          | Some k -> Printf.sprintf " crash@%d" k
+          | None -> ""
+        in
+        [ Printf.sprintf "p%d%s" p crash; lane p ])
+  in
+  let ruler =
+    String.concat ""
+      (List.init len (fun i -> if (i + 1) mod 10 = 0 then "|" else if (i + 1) mod 5 = 0 then "+" else " "))
+  in
+  Table.render ~title
+    ~header:[ "proc"; Printf.sprintf "turn 1..%d" len ]
+    (rows @ [ [ "(x10)"; ruler ] ])

@@ -1,0 +1,157 @@
+(** Randomized schedule fuzzing with deterministic replay.
+
+    The fuzz engine runs seeded batches of simulations against a [check]
+    predicate under a portfolio of schedule policies — uniform random,
+    sticky, weighted, PCT-style priority scheduling, and crash-injecting
+    variants — and records the complete pid schedule of every run via
+    {!Policy.capture}. A failure is therefore deterministic by
+    construction: the recorded [(n, schedule, crashes)] triple replays
+    bit-for-bit with {!replay} (strict scripting, {!Policy.Replay_drift}
+    on divergence), independent of RNG state, and serialises to a compact
+    [.scsrepro] artifact ({!Repro}) suitable for committing as a
+    regression test. {!Shrink.minimize} reduces such triples to locally
+    minimal counterexamples. *)
+
+exception Violation of string
+(** Raised by [check] functions to signal a property violation. The
+    message is recorded in the {!violation} and the repro artifact. *)
+
+exception Skip of string
+(** Raised by [check] functions when a run cannot be judged — e.g. the
+    history exceeds {!Scs_history.Linearize.max_operations}. Counted in
+    {!policy_stats.s_skipped}, never treated as a failure. *)
+
+(** {1 Scheduler portfolio} *)
+
+type sched_kind =
+  | Uniform  (** {!Policy.random} *)
+  | Sticky of float  (** {!Policy.sticky} with the given switch probability *)
+  | Weighted  (** {!Policy.weighted} with fresh skewed per-run weights *)
+  | Pct of int  (** {!Policy.pct} with [k] preemption points, depth [16n] *)
+
+type policy_spec = { kind : sched_kind; crash_faults : bool }
+
+val spec_name : policy_spec -> string
+(** Stable display name, e.g. ["sticky(0.25)"], ["uniform+crash"]. *)
+
+val default_portfolio : policy_spec list
+(** uniform, sticky(0.25), weighted, pct(3), uniform+crash. *)
+
+(** {1 Reports} *)
+
+type violation = {
+  v_workload : string;
+  v_n : int;
+  v_policy : string;
+  v_seed : int;  (** per-run derived seed, for provenance *)
+  v_schedule : int array;  (** complete captured pid schedule *)
+  v_crashes : (Sim.pid * int) list;
+  v_error : string;
+}
+
+type policy_stats = {
+  s_policy : string;
+  s_runs : int;
+  s_turns : int;  (** total scheduler turns across all runs *)
+  s_violations : int;
+  s_skipped : int;  (** {!Skip} + livelocked runs *)
+  s_wall : float;
+  s_first_failure : (int * float) option;
+      (** run index and wall-clock seconds of the first violation *)
+}
+
+type report = {
+  r_workload : string;
+  r_n : int;
+  r_seed : int;
+  r_stats : policy_stats list;
+  r_violations : violation list;
+}
+
+val schedules_per_sec : policy_stats -> float
+
+(** {1 Engine} *)
+
+val run :
+  ?policies:policy_spec list ->
+  ?runs:int ->
+  ?time_budget:float ->
+  ?max_violations:int ->
+  ?seed:int ->
+  ?max_steps:int ->
+  ?max_crash_steps:int ->
+  workload:string ->
+  n:int ->
+  setup:(Sim.t -> unit) ->
+  check:(Sim.t -> unit) ->
+  unit ->
+  report
+(** [run ~workload ~n ~setup ~check ()] fuzzes: for each policy spec (in
+    order), up to [runs] simulations (default 1000) or [time_budget]
+    wall-clock seconds, each policy stopping once it has found
+    [max_violations] violations of its own (so every portfolio member
+    reports its own time-to-first-failure). Each run builds a fresh sim, applies [setup] (which
+    spawns the processes), drives it under the policy with the schedule
+    captured, then applies [check], interpreting {!Violation} as a
+    failure and {!Skip} / {!Sim.Livelock} as a skipped run. Crash-fault
+    specs crash each pid with probability 1/4 after 1..[max_crash_steps]
+    (default 15) memory steps. Fully deterministic given [seed]. *)
+
+val replay :
+  ?max_steps:int ->
+  n:int ->
+  setup:(Sim.t -> unit) ->
+  schedule:int array ->
+  crashes:(Sim.pid * int) list ->
+  unit ->
+  Sim.t
+(** Re-execute a recorded run against a fresh simulator using
+    [Policy.scripted ~strict:true] under the same crash wrapper; raises
+    {!Policy.Replay_drift} if the schedule does not replay. The caller
+    applies its check to the returned sim. *)
+
+(** {1 Repro artifacts}
+
+    Textual [.scsrepro] serialization of one failing run:
+    {v
+scsrepro 1
+workload f1
+n 3
+seed 123456
+policy sticky(0.25)
+error not strictly linearizable
+crashes 1@3,2@5
+schedule 0 0 0 1 1 ...
+    v}
+    [crashes] is [-] when empty. *)
+
+module Repro : sig
+  type t = {
+    workload : string;
+    n : int;
+    seed : int;
+    policy : string;
+    error : string;
+    crashes : (Sim.pid * int) list;
+    schedule : int array;
+  }
+
+  val of_violation : violation -> t
+  val to_string : t -> string
+
+  val of_string : string -> t
+  (** Raises [Failure] on malformed input. *)
+
+  val save : string -> t -> unit
+  val load : string -> t
+end
+
+val render_lanes :
+  ?title:string ->
+  n:int ->
+  schedule:int array ->
+  crashes:(Sim.pid * int) list ->
+  unit ->
+  string
+(** Per-process lane view of a schedule: one row per pid, [●] on its
+    turns, [·] elsewhere, crash steps annotated, plus a turn ruler. *)

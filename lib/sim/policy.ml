@@ -2,6 +2,8 @@ open Scs_util
 
 type t = Sim.t -> Sim.decision
 
+exception Replay_drift of int
+
 let pick_runnable sim = match Sim.runnable sim with [] -> None | p :: _ -> Some p
 
 let round_robin () =
@@ -57,13 +59,43 @@ let sticky rng ~switch_prob =
     | Some p when Sim.is_runnable sim p && not (Rng.bernoulli rng switch_prob) -> Sim.Sched p
     | _ -> pick ()
 
+(* PCT (probabilistic concurrency testing, Burckhardt et al., ASPLOS'10):
+   distinct random priorities, always run the highest-priority runnable
+   process, and at [k - 1] turn indices drawn uniformly from [1, depth]
+   demote the process about to run below every other priority. Bugs that
+   need few preemptions are found with probability >= 1/(n * depth^(k-1)),
+   independent of how rare they are under uniform random scheduling. *)
+let pct rng ~k ~depth =
+  let prio = ref [||] in
+  let change_at = ref [] in
+  let turn = ref 0 in
+  fun sim ->
+    if Array.length !prio = 0 then begin
+      let n = Sim.n sim in
+      let a = Array.init n (fun i -> i + 1) in
+      Rng.shuffle rng a;
+      prio := a;
+      change_at := List.init (max 0 (k - 1)) (fun _ -> 1 + Rng.int rng (max 1 depth))
+    end;
+    match Sim.runnable sim with
+    | [] -> Sim.Stop
+    | p :: ps ->
+        incr turn;
+        let best =
+          List.fold_left (fun b q -> if (!prio).(q) > (!prio).(b) then q else b) p ps
+        in
+        (* demotion below every initial priority; later demotions go lower
+           still, so demoted processes keep their relative order *)
+        if List.mem !turn !change_at then (!prio).(best) <- - !turn;
+        Sim.Sched best
+
 let solo pid sim = if Sim.is_runnable sim pid then Sim.Sched pid else Sim.Stop
 
 let sequential () =
  fun sim ->
   match Sim.runnable sim with [] -> Sim.Stop | p :: _ -> Sim.Sched p
 
-let scripted script =
+let scripted ?(strict = false) script =
   let i = ref 0 in
   fun sim ->
     let rec go () =
@@ -71,12 +103,14 @@ let scripted script =
       else begin
         let p = script.(!i) in
         incr i;
-        if Sim.is_runnable sim p then Sim.Sched p else go ()
+        if Sim.is_runnable sim p then Sim.Sched p
+        else if strict then raise (Replay_drift p)
+        else go ()
       end
     in
     go ()
 
-let scripted_then script fallback =
+let scripted_then ?(strict = false) script fallback =
   let i = ref 0 in
   fun sim ->
     let rec go () =
@@ -84,7 +118,9 @@ let scripted_then script fallback =
       else begin
         let p = script.(!i) in
         incr i;
-        if Sim.is_runnable sim p then Sim.Sched p else go ()
+        if Sim.is_runnable sim p then Sim.Sched p
+        else if strict then raise (Replay_drift p)
+        else go ()
       end
     in
     go ()
@@ -104,3 +140,10 @@ let with_crashes crashes inner =
     inner sim
 
 let stop_when pred inner = fun sim -> if pred sim then Sim.Stop else inner sim
+
+let capture buf inner sim =
+  match inner sim with
+  | Sim.Stop -> Sim.Stop
+  | Sim.Sched p as d ->
+      Vec.push buf p;
+      d

@@ -5,6 +5,12 @@
 
 type t = Sim.t -> Sim.decision
 
+exception Replay_drift of int
+(** Raised by strict scripted policies when the scripted pid is not
+    runnable — the recorded schedule does not replay against this
+    execution. Carries the offending pid. [Explore.Replay_drift] is an
+    alias of this exception. *)
+
 val round_robin : unit -> t
 (** Cycle over runnable processes in pid order. *)
 
@@ -21,18 +27,32 @@ val sticky : Scs_util.Rng.t -> switch_prob:float -> t
     essentially sequential (contention-free), [1.0] is {!random} — a
     single dial for the contention sweeps of experiment F1. *)
 
+val pct : Scs_util.Rng.t -> k:int -> depth:int -> t
+(** PCT-style priority scheduler (Burckhardt et al., ASPLOS 2010): assign
+    each process a distinct random priority, always run the
+    highest-priority runnable process, and at [k - 1] turn indices drawn
+    uniformly from [1, depth] demote the process about to run below all
+    others. Finds any bug requiring at most [k] ordering constraints with
+    probability ≥ 1/(n·depth^(k-1)) per run, regardless of how rare the
+    bug is under uniform random scheduling. *)
+
 val solo : Sim.pid -> t
 (** Run only [pid]; stop when it finishes (other processes never move). *)
 
 val sequential : unit -> t
 (** Run process 0 to completion, then 1, and so on: no contention at all. *)
 
-val scripted : Sim.pid array -> t
-(** Follow the given pid sequence, skipping entries that are not runnable;
-    stop when the script is exhausted. *)
+val scripted : ?strict:bool -> Sim.pid array -> t
+(** Follow the given pid sequence; stop when the script is exhausted.
+    By default, entries that are not runnable are silently skipped — fine
+    for exploratory use, but it mangles replays: the executed schedule is
+    no longer the scripted one. With [~strict:true] a non-runnable entry
+    raises {!Replay_drift} instead; all shrinker and replay paths use
+    strict mode. *)
 
-val scripted_then : Sim.pid array -> t -> t
-(** Follow the script, then delegate to the fallback policy. *)
+val scripted_then : ?strict:bool -> Sim.pid array -> t -> t
+(** Follow the script, then delegate to the fallback policy. [?strict]
+    as in {!scripted}. *)
 
 val with_crashes : (Sim.pid * int) list -> t -> t
 (** [with_crashes [(p, k); ...] inner] crashes process [p] as soon as it has
@@ -40,6 +60,12 @@ val with_crashes : (Sim.pid * int) list -> t -> t
 
 val stop_when : (Sim.t -> bool) -> t -> t
 (** Stop as soon as the predicate holds; otherwise delegate. *)
+
+val capture : Sim.pid Scs_util.Vec.t -> t -> t
+(** Record every pid the inner policy schedules into the vector, in turn
+    order. The recorded sequence replayed with [scripted ~strict:true]
+    reproduces the run exactly (given the same initial sim and crash
+    wrappers outside the capture). *)
 
 val pick_runnable : Sim.t -> Sim.pid option
 (** Smallest runnable pid, if any (helper for custom policies). *)

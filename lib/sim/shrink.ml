@@ -1,0 +1,154 @@
+(* Delta-debugging minimizer for failing (schedule, crashes) triples.
+
+   Every candidate is validated by a full strict-scripted replay: a
+   reduction is kept only if the replayed run still raises
+   [Fuzz.Violation]. A candidate whose schedule no longer matches the
+   execution (a removed turn changed a branch, so a later scripted pid is
+   not runnable) raises [Policy.Replay_drift] and is rejected — shrunk
+   schedules are never silently mangled into different runs. *)
+
+type stats = {
+  attempts : int;
+  accepted : int;
+  drifted : int;
+  rounds : int;
+  orig_len : int;
+  final_len : int;
+}
+
+let remove_span a i len =
+  Array.append (Array.sub a 0 i) (Array.sub a (i + len) (Array.length a - i - len))
+
+let remove_two a i j =
+  (* i < j *)
+  Array.init
+    (Array.length a - 2)
+    (fun k ->
+      let k = if k >= i then k + 1 else k in
+      let k = if k >= j then k + 1 else k in
+      a.(k))
+
+let minimize ?(max_rounds = 16) ?max_steps ~n ~setup ~check ~schedule ~crashes () =
+  let attempts = ref 0 and accepted = ref 0 and drifted = ref 0 in
+  let reproduces sched crs =
+    incr attempts;
+    match
+      let sim = Fuzz.replay ?max_steps ~n ~setup ~schedule:sched ~crashes:crs () in
+      check sim
+    with
+    | () -> false
+    | exception Fuzz.Violation _ -> true
+    | exception Policy.Replay_drift _ ->
+        incr drifted;
+        false
+    | exception Fuzz.Skip _ -> false
+    | exception Sim.Livelock _ -> false
+  in
+  if not (reproduces schedule crashes) then
+    invalid_arg "Shrink.minimize: input triple does not reproduce the violation";
+  let sched = ref schedule and crs = ref crashes in
+  let accept s c =
+    sched := s;
+    crs := c;
+    incr accepted
+  in
+
+  (* each crash is either load-bearing or dead weight *)
+  let pass_crashes () =
+    let changed = ref false in
+    List.iter
+      (fun c ->
+        if List.mem c !crs then begin
+          let cand = List.filter (fun c' -> c' <> c) !crs in
+          if reproduces !sched cand then begin
+            accept !sched cand;
+            changed := true
+          end
+        end)
+      !crs;
+    !changed
+  in
+
+  (* drop entire processes: the strongest single reduction (F-1 at n=4
+     typically shrinks to a 3-process core this way) *)
+  let pass_processes () =
+    let changed = ref false in
+    let pids = List.sort_uniq compare (Array.to_list !sched) in
+    List.iter
+      (fun p ->
+        let s = Array.of_list (List.filter (fun q -> q <> p) (Array.to_list !sched)) in
+        let c = List.filter (fun (q, _) -> q <> p) !crs in
+        if Array.length s < Array.length !sched && reproduces s c then begin
+          accept s c;
+          changed := true
+        end)
+      pids;
+    !changed
+  in
+
+  (* ddmin-style contiguous chunk removal, halving sizes down to single
+     turns; on success stay at the same index (the array shifted left) *)
+  let pass_chunks () =
+    let changed = ref false in
+    let size = ref (max 1 (Array.length !sched / 2)) in
+    while !size >= 1 do
+      let i = ref 0 in
+      while !i + !size <= Array.length !sched do
+        let cand = remove_span !sched !i !size in
+        if reproduces cand !crs then begin
+          accept cand !crs;
+          changed := true
+        end
+        else i := !i + max 1 (!size / 2)
+      done;
+      size := !size / 2
+    done;
+    !changed
+  in
+
+  (* non-adjacent pairs: catches turns that are individually load-bearing
+     only because of a matching partner (e.g. a write and its observing
+     read). O(L^2) replays, so gated on short schedules. *)
+  let pass_pairs () =
+    let changed = ref false in
+    let again = ref true in
+    while !again do
+      again := false;
+      let len = Array.length !sched in
+      (try
+         for i = 0 to len - 2 do
+           for j = i + 1 to len - 1 do
+             let cand = remove_two !sched i j in
+             if reproduces cand !crs then begin
+               accept cand !crs;
+               again := true;
+               changed := true;
+               raise Exit
+             end
+           done
+         done
+       with Exit -> ())
+    done;
+    !changed
+  in
+
+  let rounds = ref 0 in
+  let progress = ref true in
+  while !progress && !rounds < max_rounds do
+    incr rounds;
+    let c1 = pass_crashes () in
+    let c2 = pass_processes () in
+    let c3 = pass_chunks () in
+    let c4 = Array.length !sched <= 64 && pass_pairs () in
+    progress := c1 || c2 || c3 || c4
+  done;
+
+  ( (!sched, !crs),
+    {
+      attempts = !attempts;
+      accepted = !accepted;
+      drifted = !drifted;
+      rounds = !rounds;
+      orig_len = Array.length schedule;
+      final_len = Array.length !sched;
+    } )

@@ -1,0 +1,45 @@
+(** Automatic counterexample shrinking by delta debugging.
+
+    Minimizes a failing [(n, schedule, crashes)] triple found by {!Fuzz}
+    while preserving the failure. The shrink lattice, coarse to fine:
+
+    + drop each injected crash;
+    + drop every turn of a whole process (and its crashes);
+    + remove contiguous schedule chunks, ddmin-style, halving chunk
+      sizes down to single turns;
+    + remove non-adjacent turn {e pairs} (only for schedules ≤ 64 turns
+      — O(L²) replays).
+
+    Passes repeat until a fixpoint (or [max_rounds]), so the result is
+    locally minimal: no single crash, process, remaining turn, or short
+    pair can be removed without losing the violation.
+
+    Every candidate is re-validated by {!Fuzz.replay} with
+    [Policy.scripted ~strict:true]; candidates that drift
+    ({!Policy.Replay_drift}), livelock, or raise {!Fuzz.Skip} are
+    rejected, never silently mangled. *)
+
+type stats = {
+  attempts : int;  (** candidate replays executed *)
+  accepted : int;  (** reductions that preserved the failure *)
+  drifted : int;  (** candidates rejected by {!Policy.Replay_drift} *)
+  rounds : int;
+  orig_len : int;
+  final_len : int;
+}
+
+val minimize :
+  ?max_rounds:int ->
+  ?max_steps:int ->
+  n:int ->
+  setup:(Sim.t -> unit) ->
+  check:(Sim.t -> unit) ->
+  schedule:int array ->
+  crashes:(Sim.pid * int) list ->
+  unit ->
+  (int array * (Sim.pid * int) list) * stats
+(** [minimize ~n ~setup ~check ~schedule ~crashes ()] returns the
+    minimized triple and shrink statistics. [check] must raise
+    {!Fuzz.Violation} on the property violation being preserved.
+    Raises [Invalid_argument] if the input triple does not reproduce
+    the violation in the first place. *)

@@ -19,7 +19,13 @@ type op = {
   rmws : int;
 }
 
-type result = { ops : op list; sim : Sim.t; agreement : bool; validity : bool }
+type result = {
+  ops : op list;
+  sim : Sim.t;
+  schedule : int array;
+  agreement : bool;
+  validity : bool;
+}
 
 let make_instance (type a) ~algo ~n (module P : Scs_prims.Prims_intf.S)
     : a Consensus_intf.t =
@@ -67,7 +73,8 @@ let run ?(seed = 42) ~n ~algo ~policy () =
           }
           :: !ops)
   done;
-  Sim.run sim (policy (Rng.split rng));
+  let buf = Vec.create () in
+  Sim.run sim (Policy.capture buf (policy (Rng.split rng)));
   let ops = List.rev !ops in
   let decisions =
     List.filter_map
@@ -79,7 +86,7 @@ let run ?(seed = 42) ~n ~algo ~policy () =
   in
   let proposals = List.map (fun o -> o.proposal) ops in
   let validity = List.for_all (fun d -> List.mem d proposals) decisions in
-  { ops; sim; agreement; validity }
+  { ops; sim; schedule = Vec.to_array buf; agreement; validity }
 
 let solo_steps algo ~n =
   let r = run ~n ~algo ~policy:(fun _ -> Policy.solo 0) () in

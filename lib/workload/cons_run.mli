@@ -22,6 +22,7 @@ type op = {
 type result = {
   ops : op list;
   sim : Sim.t;
+  schedule : int array;  (** the complete executed pid schedule *)
   agreement : bool;  (** all committed non-⊥ decisions equal *)
   validity : bool;  (** every committed decision was somebody's proposal *)
 }

@@ -1,0 +1,369 @@
+open Scs_spec
+open Scs_history
+open Scs_composable
+open Scs_sim
+
+type instance = { setup : Sim.t -> unit; check : Sim.t -> unit }
+
+type t = {
+  name : string;
+  describe : string;
+  default_n : int;
+  expect_failures : bool;
+  instantiate : n:int -> instance;
+}
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Fuzz.Violation s)) fmt
+
+(* Generic Wing–Gong checks are capped at [Linearize.max_operations];
+   a fuzz batch must skip such runs (with the skip counted in the
+   report), not die mid-batch. *)
+let lin_guard f =
+  try f ()
+  with Linearize.Capacity_exceeded n ->
+    raise
+      (Fuzz.Skip
+         (Printf.sprintf "history has %d operations, past the %d-op lin-check cap" n
+            Linearize.max_operations))
+
+(* Fuzzing is sequential within a batch (unlike [Explore.exhaustive]'s
+   domain fan-out), so a plain ref is the right channel between each
+   run's [setup] and the [check] that immediately follows it. *)
+let slot () = ref None
+let get slot = Option.get !slot
+
+(* ---- one-shot TAS workloads ------------------------------------------- *)
+
+type tas_trace = (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.t
+
+let tas_one_shot_setup ~n ~mk slot sim =
+  let tr : tas_trace = Trace.create ~clock:(fun () -> Sim.clock sim) () in
+  slot := Some tr;
+  let op = mk sim in
+  for pid = 0 to n - 1 do
+    Sim.spawn sim pid (fun () ->
+        let req = Request.make pid Objects.Test_and_set in
+        Trace.invoke tr ~pid req;
+        let r = op ~pid in
+        Trace.commit tr ~pid req r)
+  done
+
+let mk_one_shot ~strict sim =
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module OS = Scs_tas.One_shot.Make (P) in
+  let os = OS.create ~strict ~name:"tas" () in
+  fun ~pid -> OS.test_and_set os ~pid
+
+let mk_solo_fast sim =
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module SF = Scs_tas.Solo_fast.Make (P) in
+  let sf = SF.create ~name:"sf" () in
+  fun ~pid -> SF.test_and_set sf ~pid
+
+let check_strictly_linearizable what slot _sim =
+  let ops = Trace.operations (Trace.events (get slot)) in
+  if not (Tas_lin.check_one_shot ops) then violation "%s not strictly linearizable" what
+
+(* F-1 finder: the verbatim composed algorithm against the strict
+   Herlihy–Wing criterion it is known to violate from n = 3 on. *)
+let f1 =
+  {
+    name = "f1";
+    describe = "composed A1∘A2 vs strict linearizability (known failing, finding F-1)";
+    default_n = 4;
+    expect_failures = true;
+    instantiate =
+      (fun ~n ->
+        let s = slot () in
+        {
+          setup = tas_one_shot_setup ~n ~mk:(mk_one_shot ~strict:false) s;
+          check = check_strictly_linearizable "composed A1∘A2" s;
+        });
+  }
+
+(* F-2 finder: Invariant 4 of the Lemma 4 proof on the bare A1 — no
+   operation aborting with W may be invoked after a loser committed. *)
+let f2 =
+  {
+    name = "f2";
+    describe = "Invariant 4 on bare A1 (known failing, finding F-2)";
+    default_n = 4;
+    expect_failures = true;
+    instantiate =
+      (fun ~n ->
+        let s = slot () in
+        let setup sim =
+          let module P = (val Scs_prims.Sim_prims.make sim) in
+          let module A1 = Scs_tas.A1.Make (P) in
+          let a1 = A1.create ~name:"a1" () in
+          let tr : tas_trace = Trace.create ~clock:(fun () -> Sim.clock sim) () in
+          s := Some tr;
+          for pid = 0 to n - 1 do
+            Sim.spawn sim pid (fun () ->
+                let req = Request.make pid Objects.Test_and_set in
+                Trace.invoke tr ~pid req;
+                match A1.apply a1 ~pid None with
+                | Outcome.Commit r -> Trace.commit tr ~pid req r
+                | Outcome.Abort v -> Trace.abort tr ~pid req v)
+          done
+        in
+        let check _sim =
+          let ops = Trace.operations (Trace.events (get s)) in
+          let resp_seq (o : _ Trace.operation) =
+            match o.Trace.outcome with
+            | Trace.Committed { resp_seq; _ } | Trace.Aborted { resp_seq; _ } -> resp_seq
+            | Trace.Pending -> max_int
+          in
+          let first_loser =
+            List.fold_left
+              (fun m (o : _ Trace.operation) ->
+                match o.Trace.outcome with
+                | Trace.Committed { resp = Objects.Loser; _ } -> min m (resp_seq o)
+                | _ -> m)
+              max_int ops
+          in
+          List.iter
+            (fun (o : _ Trace.operation) ->
+              match o.Trace.outcome with
+              | Trace.Aborted { switch = Tas_switch.W; _ }
+                when o.Trace.invoke_seq > first_loser ->
+                  violation "Invariant 4 violated: W-abort invoked after a loser committed"
+              | _ -> ())
+            ops
+        in
+        { setup; check });
+  }
+
+(* Winner uniqueness + safe composability of the composed algorithm:
+   must hold on every schedule (Theorem 2 territory), so any violation
+   is a real regression. *)
+let tas_composed =
+  {
+    name = "tas-composed";
+    describe = "composed A1∘A2: winner uniqueness + Definition 2 interpretation";
+    default_n = 4;
+    expect_failures = false;
+    instantiate =
+      (fun ~n ->
+        let s = slot () in
+        let check _sim =
+          let evs = Trace.events (get s) in
+          let ops = Trace.operations evs in
+          let committed, winners =
+            List.fold_left
+              (fun (c, w) (o : _ Trace.operation) ->
+                match o.Trace.outcome with
+                | Trace.Committed { resp = Objects.Winner; _ } -> (c + 1, w + 1)
+                | Trace.Committed _ -> (c + 1, w)
+                | _ -> (c, w))
+              (0, 0) ops
+          in
+          if winners > 1 then violation "%d winners" winners;
+          if committed = n && winners = 0 then violation "all committed, no winner";
+          if committed = List.length ops then
+            match Tas_interp.check_events evs with
+            | Ok () -> ()
+            | Error e -> violation "no Definition 2 interpretation: %s" e
+        in
+        { setup = tas_one_shot_setup ~n ~mk:(mk_one_shot ~strict:false) s; check });
+  }
+
+let tas_strict =
+  {
+    name = "tas-strict";
+    describe = "strict-variant A1∘A2 vs strict linearizability (finding F-3)";
+    default_n = 4;
+    expect_failures = false;
+    instantiate =
+      (fun ~n ->
+        let s = slot () in
+        {
+          setup = tas_one_shot_setup ~n ~mk:(mk_one_shot ~strict:true) s;
+          check = check_strictly_linearizable "strict variant" s;
+        });
+  }
+
+let tas_solo_fast =
+  {
+    name = "tas-solo-fast";
+    describe = "Appendix B solo-fast variant vs strict linearizability";
+    default_n = 4;
+    expect_failures = false;
+    instantiate =
+      (fun ~n ->
+        let s = slot () in
+        {
+          setup = tas_one_shot_setup ~n ~mk:mk_solo_fast s;
+          check = check_strictly_linearizable "solo-fast variant" s;
+        });
+  }
+
+(* ---- splitter --------------------------------------------------------- *)
+
+let splitter =
+  {
+    name = "splitter";
+    describe = "Moir–Anderson splitter: at most one Stop per era";
+    default_n = 4;
+    expect_failures = false;
+    instantiate =
+      (fun ~n ->
+        let s = slot () in
+        let setup sim =
+          let module P = (val Scs_prims.Sim_prims.make sim) in
+          let module Sp = Scs_consensus.Splitter.Make (P) in
+          let sp = Sp.create ~name:"split" () in
+          let results = Array.make n None in
+          s := Some results;
+          for pid = 0 to n - 1 do
+            Sim.spawn sim pid (fun () -> results.(pid) <- Some (Sp.split sp ~pid))
+          done
+        in
+        let check _sim =
+          let results = get s in
+          let stops =
+            Array.fold_left
+              (fun acc r ->
+                if r = Some Scs_consensus.Splitter.Stop then acc + 1 else acc)
+              0 results
+          in
+          if stops > 1 then violation "%d processes returned Stop" stops
+        in
+        { setup; check });
+  }
+
+(* ---- consensus chain -------------------------------------------------- *)
+
+let consensus_chain =
+  {
+    name = "consensus-chain";
+    describe = "split>bakery>cas chain: agreement + validity";
+    default_n = 3;
+    expect_failures = false;
+    instantiate =
+      (fun ~n ->
+        let s = slot () in
+        let setup sim =
+          let module P = (val Scs_prims.Sim_prims.make sim) in
+          let module SC = Scs_consensus.Split_consensus.Make (P) in
+          let module AB = Scs_consensus.Abortable_bakery.Make (P) in
+          let module CC = Scs_consensus.Cas_consensus.Make (P) in
+          let module CH = Scs_consensus.Chain.Make (P) in
+          let inst : int Scs_consensus.Consensus_intf.t =
+            CH.make ~name:"chain"
+              [
+                SC.instance (SC.create ~name:"chain.split" ());
+                AB.instance (AB.create ~name:"chain.bakery" ~n ());
+                CC.instance (CC.create ~name:"chain.cas" ());
+              ]
+          in
+          let outcomes = Array.make n None in
+          s := Some outcomes;
+          for pid = 0 to n - 1 do
+            Sim.spawn sim pid (fun () ->
+                outcomes.(pid) <-
+                  Some (inst.Scs_consensus.Consensus_intf.run ~pid ~old:None (100 + pid)))
+          done
+        in
+        let check _sim =
+          let outcomes = get s in
+          let decisions =
+            Array.to_list outcomes
+            |> List.filter_map (function
+                 | Some (Outcome.Commit (Some d)) -> Some d
+                 | _ -> None)
+          in
+          (match decisions with
+          | [] -> ()
+          | d :: rest ->
+              if not (List.for_all (fun x -> x = d) rest) then
+                violation "agreement violated: decisions disagree");
+          (* validity vs all proposals, not just recorded ones — a
+             crashed proposer's value may legitimately be decided *)
+          List.iter
+            (fun d -> if d < 100 || d >= 100 + n then violation "invalid decision %d" d)
+            decisions
+        in
+        { setup; check });
+  }
+
+(* ---- speculative queue ------------------------------------------------ *)
+
+(* The only workload whose check uses the generic (capped) Wing–Gong
+   search: at n ≥ 16 the 4n-operation history exceeds the 62-op cap and
+   the run is skipped, exercising the report's skip counter. *)
+let queue =
+  let ops_per_proc = 4 in
+  {
+    name = "queue";
+    describe = "speculative queue (lib/futures): generic linearizability";
+    default_n = 3;
+    expect_failures = false;
+    instantiate =
+      (fun ~n ->
+        let s = slot () in
+        let setup sim =
+          let module P = (val Scs_prims.Sim_prims.make sim) in
+          let module SO = Scs_futures.Spec_object.Make (P) in
+          let obj =
+            SO.create ~transfer:Scs_futures.Spec_object.History ~name:"q" ~n
+              ~max_requests:(8 * n * ops_per_proc) ~spec:Objects.queue
+              ~state_to_requests:(fun q -> List.map (fun x -> Objects.Enqueue x) q)
+              ()
+          in
+          let gen = Request.Gen.create () in
+          let tr : (Objects.queue_req, Objects.queue_resp, unit) Trace.t =
+            Trace.create ~clock:(fun () -> Sim.clock sim) ()
+          in
+          s := Some tr;
+          for pid = 0 to n - 1 do
+            Sim.spawn sim pid (fun () ->
+                let h = SO.handle obj ~pid in
+                for k = 1 to ops_per_proc do
+                  let payload =
+                    if k mod 2 = 1 then Objects.Enqueue ((100 * pid) + k)
+                    else Objects.Dequeue
+                  in
+                  let req = Request.Gen.fresh gen payload in
+                  Trace.invoke tr ~pid req;
+                  let resp = SO.apply h req in
+                  Trace.commit tr ~pid req resp
+                done)
+          done
+        in
+        let check _sim =
+          lin_guard (fun () ->
+              if not (Linearize.check_events Objects.queue (Trace.events (get s))) then
+                violation "queue history not linearizable")
+        in
+        { setup; check });
+  }
+
+let all =
+  [ f1; f2; tas_composed; tas_strict; tas_solo_fast; splitter; consensus_chain; queue ]
+
+let find name = List.find_opt (fun w -> w.name = name) all
+let names () = List.map (fun w -> w.name) all
+
+let fuzz ?policies ?runs ?time_budget ?max_violations ?seed ?max_steps w ~n =
+  let { setup; check } = w.instantiate ~n in
+  Fuzz.run ?policies ?runs ?time_budget ?max_violations ?seed ?max_steps
+    ~workload:w.name ~n ~setup ~check ()
+
+type replay_outcome =
+  | Violates of string  (** the recorded violation reproduces *)
+  | Passes  (** replays cleanly: the check holds on this schedule *)
+  | Skipped of string
+  | Drifted of int  (** schedule does not replay; offending pid *)
+
+let replay w ~n ~schedule ~crashes =
+  let { setup; check } = w.instantiate ~n in
+  match check (Fuzz.replay ~n ~setup ~schedule ~crashes ()) with
+  | () -> Passes
+  | exception Fuzz.Violation msg -> Violates msg
+  | exception Fuzz.Skip msg -> Skipped msg
+  | exception Policy.Replay_drift p -> Drifted p
+
+let shrink ?max_rounds ?max_steps w ~n ~schedule ~crashes =
+  let { setup; check } = w.instantiate ~n in
+  Shrink.minimize ?max_rounds ?max_steps ~n ~setup ~check ~schedule ~crashes ()

@@ -1,0 +1,73 @@
+(** Named fuzzing workloads: the bridge between {!Scs_sim.Fuzz} /
+    {!Scs_sim.Shrink} (which know nothing about algorithms) and the
+    algorithms under test. Each workload packages a [setup] that spawns
+    the processes on a fresh simulator and a [check] that judges the
+    finished run, raising {!Scs_sim.Fuzz.Violation} on failure and
+    {!Scs_sim.Fuzz.Skip} when a run cannot be judged (e.g. the history
+    exceeds the generic lin-checker's operation cap).
+
+    Workloads with [expect_failures = true] ([f1], [f2]) are known-failing
+    finders that re-discover findings F-1/F-2 by random search — useful
+    for exercising the shrinker and for throughput experiments, excluded
+    from "fuzz everything and expect green" CI runs. *)
+
+open Scs_sim
+
+type instance = { setup : Sim.t -> unit; check : Sim.t -> unit }
+
+type t = {
+  name : string;
+  describe : string;
+  default_n : int;
+  expect_failures : bool;  (** violations are the point, not a regression *)
+  instantiate : n:int -> instance;
+      (** Fresh linked [setup]/[check] pair. Each run must call [setup]
+          on a fresh sim and [check] right after it; the pair communicates
+          through a slot reset by [setup], so instances are sequential —
+          never share one across domains. *)
+}
+
+val f1 : t
+val f2 : t
+val tas_composed : t
+val tas_strict : t
+val tas_solo_fast : t
+val splitter : t
+val consensus_chain : t
+val queue : t
+
+val all : t list
+val find : string -> t option
+val names : unit -> string list
+
+val fuzz :
+  ?policies:Fuzz.policy_spec list ->
+  ?runs:int ->
+  ?time_budget:float ->
+  ?max_violations:int ->
+  ?seed:int ->
+  ?max_steps:int ->
+  t ->
+  n:int ->
+  Fuzz.report
+(** {!Fuzz.run} on a fresh instance of the workload. *)
+
+type replay_outcome =
+  | Violates of string  (** the recorded violation reproduces *)
+  | Passes  (** replays cleanly: the check holds on this schedule *)
+  | Skipped of string
+  | Drifted of int  (** schedule does not replay; offending pid *)
+
+val replay : t -> n:int -> schedule:int array -> crashes:(int * int) list -> replay_outcome
+(** Strict scripted replay of a recorded triple, judged by the
+    workload's check. *)
+
+val shrink :
+  ?max_rounds:int ->
+  ?max_steps:int ->
+  t ->
+  n:int ->
+  schedule:int array ->
+  crashes:(int * int) list ->
+  (int array * (int * int) list) * Shrink.stats
+(** {!Shrink.minimize} on a fresh instance of the workload. *)

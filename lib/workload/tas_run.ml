@@ -32,6 +32,7 @@ type result = {
   a2 : (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.event array;
   mem : Mem_event.t array;
   sim : Sim.t;
+  schedule : int array;
   registers : int;
   rmw_objects : int;
   round_of_req : (int, int) Hashtbl.t;
@@ -86,7 +87,7 @@ let record_op sim recorder ~pid f =
   recorder.recs <- op :: recorder.recs;
   resp
 
-let finish sim recorder =
+let finish sim recorder ~schedule =
   {
     ops = List.rev recorder.recs;
     outer = Trace.events recorder.rec_outer;
@@ -94,15 +95,22 @@ let finish sim recorder =
     a2 = Trace.events recorder.rec_a2;
     mem = Sim.trace_arr sim;
     sim;
+    schedule;
     registers = Sim.objects_allocated sim;
     rmw_objects = Sim.rmw_objects_allocated sim;
     round_of_req = recorder.round_of_req;
   }
 
+(* Capture sits inside the crash wrapper, matching the replay composition
+   of [Fuzz.replay]: the recorded schedule holds exactly the executed
+   turns, and crash points key on [Sim.steps_of], which evolves
+   identically on replay of the same turn prefix. *)
 let run_policy ?(crashes = []) sim policy rng =
-  let p = policy rng in
+  let buf = Vec.create () in
+  let p = Policy.capture buf (policy rng) in
   let p = if crashes = [] then p else Policy.with_crashes crashes p in
-  Sim.run sim p
+  Sim.run sim p;
+  Vec.to_array buf
 
 let one_shot ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ~n ~algo ~policy () =
   let rng = Rng.create seed in
@@ -179,8 +187,8 @@ let one_shot ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ~n ~algo ~policy (
                let resp, stage = op_fn ~pid req in
                (resp, stage, 0))))
   done;
-  run_policy ~crashes sim policy (Rng.split rng);
-  finish sim recorder
+  let schedule = run_policy ~crashes sim policy (Rng.split rng) in
+  finish sim recorder ~schedule
 
 let long_lived ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ?(strict = false) ~n
     ~ops_per_proc ~policy () =
@@ -205,8 +213,8 @@ let long_lived ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ?(strict = false
           if resp = Objects.Winner then LL.reset h
         done)
   done;
-  run_policy ~crashes sim policy (Rng.split rng);
-  finish sim recorder
+  let schedule = run_policy ~crashes sim policy (Rng.split rng) in
+  finish sim recorder ~schedule
 
 (* ---- exhaustive one-shot exploration ---------------------------------- *)
 

@@ -39,6 +39,10 @@ type result = {
       (** module-level trace of A2 (init/commit) *)
   mem : Mem_event.t array;  (** low-level memory steps *)
   sim : Sim.t;
+  schedule : int array;
+      (** the complete executed pid schedule, one entry per scheduler
+          turn; replaying it with [Policy.scripted ~strict:true] (under
+          the same crash wrapper) reproduces this run exactly *)
   registers : int;  (** base objects allocated *)
   rmw_objects : int;
   round_of_req : (int, int) Hashtbl.t;  (** request id → long-lived round *)

@@ -15,7 +15,9 @@ let () =
       ("universal", Test_universal.tests);
       ("locks", Test_locks.tests);
       ("native", Test_native.tests);
+      ("policy", Test_policy.tests);
       ("properties", Test_props.tests);
+      ("fuzz", Test_fuzz.tests);
       ("futures", Test_futures.tests);
       ("crashes", Test_crashes.tests);
       ("composition", Test_composition.tests);

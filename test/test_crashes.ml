@@ -13,7 +13,9 @@ let rng_crashes rng ~n ~max_crashes =
 (* consensus: agreement + validity must hold among completed ops even when
    others crash mid-protocol *)
 let consensus_crash ~algo ~runs () =
-  let rng = Scs_util.Rng.create 99 in
+  (* crash sets derive from the suite seed: export the printed
+     SCS_QCHECK_SEED to replay a failure *)
+  let rng = Test_seed.rng 99 in
   for seed = 1 to runs do
     let n = 4 in
     let crashes = rng_crashes rng ~n ~max_crashes:2 in
@@ -49,8 +51,12 @@ let consensus_crash ~algo ~runs () =
     | [] -> ()
     | d :: rest ->
         if not (List.for_all (fun x -> x = d) rest) then
-          Alcotest.failf "disagreement under crashes at seed %d" seed;
-        if d < 100 || d >= 100 + n then Alcotest.failf "invalid decision at seed %d" seed)
+          Alcotest.failf "disagreement under crashes at seed %d crashes=%s%s" seed
+            (String.concat ","
+               (List.map (fun (p, k) -> Printf.sprintf "%d@%d" p k) crashes))
+            Test_seed.label;
+        if d < 100 || d >= 100 + n then
+          Alcotest.failf "invalid decision at seed %d%s" seed Test_seed.label)
   done
 
 let test_split_crashes () = consensus_crash ~algo:`Split ~runs:150 ()

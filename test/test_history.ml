@@ -326,6 +326,37 @@ let test_trace_malformed () =
     Alcotest.fail "expected Invalid_argument on double invoke"
   with Invalid_argument _ -> ()
 
+(* --- the 62-operation capacity boundary ------------------------------ *)
+
+(* a sequential TAS history of [k] operations: first wins, rest lose *)
+let sequential_tas_ops k =
+  List.init k (fun i ->
+      comp ~pid:0 ~id:(i + 1) ~inv:(2 * i)
+        ~res:((2 * i) + 1)
+        (if i = 0 then Objects.Winner else Objects.Loser))
+
+let test_lin_cap_boundary_accepts_62 () =
+  Alcotest.(check int) "cap is 62" 62 Linearize.max_operations;
+  let ops = sequential_tas_ops Linearize.max_operations in
+  Alcotest.(check bool) "62 operations check fine" true
+    (Linearize.check_operations Objects.tas ops)
+
+let test_lin_cap_boundary_rejects_63 () =
+  let ops = sequential_tas_ops (Linearize.max_operations + 1) in
+  Alcotest.check_raises "63 operations exceed capacity"
+    (Linearize.Capacity_exceeded 63) (fun () ->
+      ignore (Linearize.check_operations Objects.tas ops))
+
+let test_lin_cap_counts_pending () =
+  (* pending operations occupy mask bits too *)
+  let ops =
+    sequential_tas_ops (Linearize.max_operations - 1)
+    @ [ pend ~pid:1 ~id:1000 ~inv:0; pend ~pid:2 ~id:1001 ~inv:0 ]
+  in
+  Alcotest.check_raises "62 committed + 2 pending overflow"
+    (Linearize.Capacity_exceeded 63) (fun () ->
+      ignore (Linearize.check_operations Objects.tas ops))
+
 let tests =
   [
     Alcotest.test_case "lin: single winner" `Quick test_lin_single_winner;
@@ -337,7 +368,12 @@ let tests =
     Alcotest.test_case "lin: sequential" `Quick test_lin_sequential_ok;
     Alcotest.test_case "lin: queue" `Quick test_lin_queue;
     Alcotest.test_case "lin: register" `Quick test_lin_register;
-    QCheck_alcotest.to_alcotest prop_tas_checker_agrees;
+    QCheck_alcotest.to_alcotest ~rand:(Test_seed.rand ()) prop_tas_checker_agrees;
+    Alcotest.test_case "lin: 62-op capacity accepted" `Quick test_lin_cap_boundary_accepts_62;
+    Alcotest.test_case "lin: 63 ops raise Capacity_exceeded" `Quick
+      test_lin_cap_boundary_rejects_63;
+    Alcotest.test_case "lin: pending ops count against the cap" `Quick
+      test_lin_cap_counts_pending;
     Alcotest.test_case "abstract: good trace" `Quick test_abstract_good_trace;
     Alcotest.test_case "abstract: commit order" `Quick test_abstract_commit_order_violation;
     Alcotest.test_case "abstract: abort ordering" `Quick test_abstract_abort_ordering_violation;

@@ -21,7 +21,8 @@ let policy_of_choice c rng =
 
 let arbitrary_run =
   QCheck.make
-    ~print:(fun (n, seed, pc) -> Printf.sprintf "n=%d seed=%d policy=%d" n seed pc)
+    ~print:(fun (n, seed, pc) ->
+      Printf.sprintf "n=%d seed=%d policy=%d%s" n seed pc Test_seed.label)
     QCheck.Gen.(triple gen_n gen_seed gen_policy_choice)
 
 let prop_strict_linearizable =
@@ -59,9 +60,10 @@ let prop_crashes_preserve_safety =
   QCheck.Test.make ~count:200 ~name:"crash sets preserve safety (strict)"
     (QCheck.make
        ~print:(fun (n, seed, crashes) ->
-         Printf.sprintf "n=%d seed=%d crashes=%s" n seed
+         Printf.sprintf "n=%d seed=%d crashes=%s%s" n seed
            (String.concat ","
-              (List.map (fun (p, k) -> Printf.sprintf "(%d,%d)" p k) crashes)))
+              (List.map (fun (p, k) -> Printf.sprintf "(%d,%d)" p k) crashes))
+           Test_seed.label)
        QCheck.Gen.(
          triple gen_n gen_seed
            (list_size (int_range 0 3) (pair (int_range 0 6) (int_range 1 12)))))
@@ -76,7 +78,8 @@ let prop_crashes_preserve_safety =
 let prop_consensus_agreement =
   QCheck.Test.make ~count:200 ~name:"abortable consensus agreement+validity"
     (QCheck.make
-       ~print:(fun (n, seed, a) -> Printf.sprintf "n=%d seed=%d algo=%d" n seed a)
+       ~print:(fun (n, seed, a) ->
+         Printf.sprintf "n=%d seed=%d algo=%d%s" n seed a Test_seed.label)
        QCheck.Gen.(triple gen_n gen_seed (int_range 0 3)))
     (fun (n, seed, a) ->
       let algo =
@@ -92,7 +95,7 @@ let prop_consensus_agreement =
 let prop_splitter_at_most_one_stop =
   QCheck.Test.make ~count:300 ~name:"splitter: at most one stop"
     (QCheck.make
-       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d%s" n seed Test_seed.label)
        QCheck.Gen.(pair gen_n gen_seed))
     (fun (n, seed) ->
       let sim = Sim.create ~n () in
@@ -110,7 +113,7 @@ let prop_splitter_at_most_one_stop =
 let prop_snapshot_scans_comparable =
   QCheck.Test.make ~count:150 ~name:"snapshot scans are totally ordered"
     (QCheck.make
-       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d%s" n seed Test_seed.label)
        QCheck.Gen.(pair (int_range 2 4) gen_seed))
     (fun (n, seed) ->
       let sim = Sim.create ~n () in
@@ -214,7 +217,7 @@ let prop_sequential_traces_linearizable =
 let prop_uc_fai_distinct =
   QCheck.Test.make ~count:60 ~name:"UC fetch&inc responses are distinct"
     (QCheck.make
-       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d%s" n seed Test_seed.label)
        QCheck.Gen.(pair (int_range 2 4) gen_seed))
     (fun (n, seed) ->
       let r =
@@ -264,7 +267,10 @@ let prop_uc_fai_distinct =
       List.length (List.sort_uniq compare own) = List.length own)
 
 let tests =
-  List.map QCheck_alcotest.to_alcotest
+  (* explicit seed: failures are reproducible by exporting the printed
+     SCS_QCHECK_SEED value *)
+  List.map
+    (fun t -> QCheck_alcotest.to_alcotest ~rand:(Test_seed.rand ()) t)
     [
       prop_strict_linearizable;
       prop_paper_interpretable;
