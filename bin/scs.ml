@@ -242,6 +242,8 @@ let print_fuzz_report (r : Fuzz.report) =
           Printf.sprintf "%.0f" (Fuzz.schedules_per_sec s);
           string_of_int s.Fuzz.s_violations;
           string_of_int s.Fuzz.s_skipped;
+          string_of_int s.Fuzz.s_checked_large;
+          Printf.sprintf "%.2f" s.Fuzz.s_check_wall;
           (match s.Fuzz.s_first_failure with
           | Some (run, t) -> Printf.sprintf "run %d (%.1f ms)" run (1000. *. t)
           | None -> "-");
@@ -250,7 +252,8 @@ let print_fuzz_report (r : Fuzz.report) =
   in
   Scs_util.Table.print
     ~title:(Printf.sprintf "fuzz %s n=%d seed=%d" r.Fuzz.r_workload r.Fuzz.r_n r.Fuzz.r_seed)
-    ~header:[ "policy"; "runs"; "sched/s"; "viol"; "skip"; "first failure" ]
+    ~header:
+      [ "policy"; "runs"; "sched/s"; "viol"; "skip"; "large"; "check s"; "first failure" ]
     rows
 
 let fuzz_cmd =
@@ -291,7 +294,16 @@ let fuzz_cmd =
   let no_shrink_arg =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Emit raw failing schedules unshrunk.")
   in
-  let run workload list_workloads n_opt runs budget max_violations seed out no_shrink =
+  let check_domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "check-domains" ] ~docv:"D"
+          ~doc:
+            "Verify runs on $(docv) domains in parallel (1 = inline, fully \
+             deterministic).")
+  in
+  let run workload list_workloads n_opt runs budget max_violations seed out no_shrink
+      check_domains =
     if list_workloads then begin
       List.iter
         (fun (w : Fuzz_run.t) ->
@@ -316,7 +328,8 @@ let fuzz_cmd =
       (fun (w : Fuzz_run.t) ->
         let n = Option.value n_opt ~default:w.Fuzz_run.default_n in
         let report =
-          Fuzz_run.fuzz ?time_budget:budget ~runs ~max_violations ~seed w ~n
+          Fuzz_run.fuzz ?time_budget:budget ~runs ~max_violations ~seed
+            ~check_domains w ~n
         in
         print_fuzz_report report;
         List.iter
@@ -360,7 +373,7 @@ let fuzz_cmd =
           when violations were found).")
     Term.(
       const run $ workload_arg $ list_arg $ n_opt_arg $ runs_arg $ budget_arg $ max_viol_arg
-      $ seed_arg $ out_arg $ no_shrink_arg)
+      $ seed_arg $ out_arg $ no_shrink_arg $ check_domains_arg)
 
 (* ---- replay ---------------------------------------------------------------- *)
 

@@ -21,6 +21,11 @@ let all =
       title = "Fuzzing throughput, time-to-first-failure, shrinking";
       run = Exp_t11.run;
     };
+    {
+      id = "T12";
+      title = "Checker throughput: scalable engine vs seed bitmask; differential agreement";
+      run = Exp_t12.run;
+    };
     { id = "F1"; title = "Figure 1 dynamics: contention sweep"; run = Exp_f1.run };
     { id = "F2"; title = "Native multicore throughput"; run = Exp_f2.run };
   ]

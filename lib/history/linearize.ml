@@ -1,8 +1,21 @@
+open Scs_util
 open Scs_spec
+
+type mode = Legacy | Scalable
+
+let max_operations = 62
+
+exception Capacity_exceeded of int
+exception Search_budget_exceeded of int
 
 type ('i, 'r) comp = { c_req : 'i Request.t; c_resp : 'r; c_inv : int; c_res : int }
 type 'i pend = { p_req : 'i Request.t; p_inv : int }
 
+(* Completed operations sorted by response time (minimal-response-first
+   candidate order, Lowe's just-in-time linearization), pending ones by
+   invocation time (so the candidate scan can stop at the first
+   not-yet-invocable pending op). Sorting is stable w.r.t. verdicts: the
+   search is exhaustive, only its branching order changes. *)
 let split_ops ops =
   let comp = ref [] and pend = ref [] in
   List.iter
@@ -15,57 +28,138 @@ let split_ops ops =
       | Trace.Aborted _ | Trace.Pending ->
           pend := { p_req = o.Trace.op_req; p_inv = o.Trace.invoke_seq } :: !pend)
     ops;
-  (Array.of_list (List.rev !comp), Array.of_list (List.rev !pend))
+  let comp = Array.of_list !comp and pend = Array.of_list !pend in
+  Array.sort (fun a b -> compare a.c_res b.c_res) comp;
+  Array.sort (fun a b -> compare a.p_inv b.p_inv) pend;
+  (comp, pend)
 
-let max_operations = 62
-
-exception Capacity_exceeded of int
-
-let check_operations (spec : _ Spec.t) ops =
+let check_operations ?(mode = Scalable) ?budget (spec : _ Spec.t) ops =
   let comp, pend = split_ops ops in
   let nc = Array.length comp in
   let np = Array.length pend in
   let n = nc + np in
-  if n > max_operations then raise (Capacity_exceeded n);
-  let all_completed_mask = if nc = 0 then 0 else (1 lsl nc) - 1 in
-  let inv i = if i < nc then comp.(i).c_inv else pend.(i - nc).p_inv in
-  (* Memo table: mask -> list of object states already explored there. *)
-  let memo : (int, 'q list) Hashtbl.t = Hashtbl.create 256 in
-  let seen mask state =
-    let states = Option.value ~default:[] (Hashtbl.find_opt memo mask) in
-    if List.exists (fun s -> spec.Spec.equal_state s state) states then true
-    else begin
-      Hashtbl.replace memo mask (state :: states);
-      false
-    end
-  in
-  let rec search mask state =
-    if mask land all_completed_mask = all_completed_mask then true
-    else if seen mask state then false
-    else begin
-      (* An operation may be linearized next iff no unlinearized completed
-         operation responded before it was invoked. *)
-      let min_res = ref max_int in
-      for i = 0 to nc - 1 do
-        if mask land (1 lsl i) = 0 && comp.(i).c_res < !min_res then min_res := comp.(i).c_res
-      done;
-      let try_op i =
-        mask land (1 lsl i) = 0
-        && inv i < !min_res
-        &&
-        if i < nc then begin
-          let state', resp = spec.Spec.apply state (Request.payload comp.(i).c_req) in
-          spec.Spec.equal_resp resp comp.(i).c_resp && search (mask lor (1 lsl i)) state'
-        end
-        else begin
-          let state', _ = spec.Spec.apply state (Request.payload pend.(i - nc).p_req) in
-          search (mask lor (1 lsl i)) state'
-        end
-      in
-      let rec any i = i < n && (try_op i || any (i + 1)) in
-      any 0
-    end
-  in
-  search 0 spec.Spec.init
+  (match mode with
+  | Legacy when n > max_operations -> raise (Capacity_exceeded n)
+  | Legacy | Scalable -> ());
+  if nc = 0 then true
+    (* no completed operation constrains anything: pending/aborted ops may
+       all be dropped *)
+  else begin
+    (* The linearized set, as a growable bitvector: completed op [i] is bit
+       [i], pending op [j] is bit [nc + j]. Mutated along the DFS path and
+       restored on backtrack; memo keys hold immutable copies. *)
+    let mask = Bitset.create ~bits:n in
+    (* Hashed state memo: (mask, object state) pairs already explored,
+       bucketed by combined content hash, membership decided by exact
+       [Bitset.equal] + [spec.equal_state] (a hash-only memo would be
+       unsound under collisions). Sound because the spec is deterministic:
+       (mask, state) fully determines the remaining search, provided
+       [equal_state] never conflates observationally distinct states — see
+       the .mli invariant. *)
+    let memo = Hashtbl.create 1024 in
+    let seen state =
+      let h = (Bitset.hash mask * 0x9E3779B1) lxor spec.Spec.hash_state state in
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt memo h) in
+      if
+        List.exists
+          (fun (m, s) -> Bitset.equal m mask && spec.Spec.equal_state s state)
+          bucket
+      then true
+      else begin
+        Hashtbl.replace memo h ((Bitset.copy mask, state) :: bucket);
+        false
+      end
+    in
+    (* The search is exponential in the concurrency width of the history
+       (not its length); [budget] caps the number of search nodes so a
+       caller facing adversarial width can give up instead of hanging. *)
+    let nodes = ref 0 in
+    let spend () =
+      match budget with
+      | Some b ->
+          incr nodes;
+          if !nodes > b then raise (Search_budget_exceeded b)
+      | None -> ()
+    in
+    (* [done_c] counts linearized completed ops; [first0] is a lower bound
+       for the first unlinearized completed index (comp is res-sorted, so
+       that op carries the minimal outstanding response time). *)
+    let rec search state done_c first0 =
+      spend ();
+      if done_c = nc then true
+      else if seen state then false
+      else begin
+        let first = ref first0 in
+        while Bitset.test mask !first do
+          incr first
+        done;
+        let first = !first in
+        (* An operation may be linearized next iff no unlinearized
+           completed operation responded before it was invoked. *)
+        let min_res = comp.(first).c_res in
+        let rec try_comp i =
+          i < nc
+          && ((not (Bitset.test mask i))
+             && comp.(i).c_inv < min_res
+             && begin
+                  let state', resp =
+                    spec.Spec.apply state (Request.payload comp.(i).c_req)
+                  in
+                  spec.Spec.equal_resp resp comp.(i).c_resp
+                  && begin
+                       Bitset.set mask i;
+                       let r = search state' (done_c + 1) first in
+                       Bitset.clear mask i;
+                       r
+                     end
+                end
+             || try_comp (i + 1))
+        in
+        let rec try_pend j =
+          j < np
+          && pend.(j).p_inv < min_res
+          && (((not (Bitset.test mask (nc + j)))
+              && begin
+                   let state', _ =
+                     spec.Spec.apply state (Request.payload pend.(j).p_req)
+                   in
+                   Bitset.set mask (nc + j);
+                   let r = search state' done_c first in
+                   Bitset.clear mask (nc + j);
+                   r
+                 end)
+             || try_pend (j + 1))
+        in
+        try_comp first || try_pend 0
+      end
+    in
+    search spec.Spec.init 0 0
+  end
 
-let check_events spec evs = check_operations spec (Trace.operations evs)
+let check_events ?mode ?budget spec evs =
+  check_operations ?mode ?budget spec (Trace.operations evs)
+
+(* ---- compositional front-end ------------------------------------------ *)
+
+let partition ~key ops =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun op ->
+      let k = key op in
+      match Hashtbl.find_opt tbl k with
+      | Some part -> part := op :: !part
+      | None ->
+          Hashtbl.add tbl k (ref [ op ]);
+          order := k :: !order)
+    ops;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+
+let check_partitioned ?mode ?budget ~key ~spec ops =
+  let parts =
+    List.map (fun (k, sub) -> (List.length sub, k, sub)) (partition ~key ops)
+  in
+  (* cheapest-first: small subhistories refute (or clear) fast, so a
+     non-linearizable cheap partition short-circuits the expensive ones *)
+  let parts = List.sort (fun (la, _, _) (lb, _, _) -> compare la lb) parts in
+  List.for_all (fun (_, k, sub) -> check_operations ?mode ?budget (spec k) sub) parts

@@ -42,6 +42,8 @@ type policy_stats = {
   s_turns : int;
   s_violations : int;
   s_skipped : int;
+  s_checked_large : int;
+  s_check_wall : float;
   s_wall : float;
   s_first_failure : (int * float) option;
       (** run index and wall-clock seconds of the first violation *)
@@ -89,9 +91,68 @@ let replay ?max_steps ~n ~setup ~schedule ~crashes () =
 
 let now = Unix.gettimeofday
 
+(* Histories past the legacy 62-operation cap used to be skipped; the
+   scalable checker verifies them instead, and workload checks report
+   them here so fuzz stats can show the cap is really gone. A global
+   atomic (snapshotted around each policy batch, whose verifications are
+   joined before the snapshot is read) stays correct when checks run on
+   worker domains. *)
+let large_counter = Atomic.make 0
+let checked_large () = Atomic.incr large_counter
+
+(* A finished execution awaiting verification. *)
+type pending = {
+  pd_run : int;
+  pd_seed : int;
+  pd_schedule : int array;
+  pd_crashes : (Sim.pid * int) list;
+  pd_check : unit -> unit;
+}
+
+type verdict = V_ok | V_viol of string | V_skip | V_exn of exn
+
+(* Verify a chunk of finished runs, fanning out over [domains] OCaml
+   domains when given more than one. Each run owns its sim/trace (fresh
+   workload instance per run), so checks of distinct runs share no
+   mutable state. Returns per-run (verdict, check-seconds) in run order. *)
+let verify_chunk ~domains (chunk : pending array) =
+  let one (p : pending) =
+    let t0 = now () in
+    let v =
+      match p.pd_check () with
+      | () -> V_ok
+      | exception Violation msg -> V_viol msg
+      | exception (Skip _ | Sim.Livelock _) -> V_skip
+      | exception e -> V_exn e
+    in
+    (v, now () -. t0)
+  in
+  if domains <= 1 || Array.length chunk < 2 then Array.map one chunk
+  else begin
+    let results = Array.make (Array.length chunk) (V_ok, 0.0) in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length chunk then begin
+          results.(i) <- one chunk.(i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let others =
+      Array.init (min (domains - 1) (Array.length chunk - 1)) (fun _ ->
+          Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join others;
+    results
+  end
+
 let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
     ?(max_violations = max_int) ?(seed = 1) ?max_steps ?(max_crash_steps = 15)
-    ~workload ~n ~setup ~check () =
+    ?(check_domains = 1) ~workload ~n ~instantiate () =
   let violations = ref [] in
   let stats =
     List.mapi
@@ -101,7 +162,39 @@ let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
         let t0 = now () in
         let nrun = ref 0 and nturn = ref 0 in
         let sviol = ref 0 and nskip = ref 0 in
+        let check_wall = ref 0.0 in
         let first = ref None in
+        let large0 = Atomic.get large_counter in
+        let chunk_size = if check_domains <= 1 then 1 else 16 * check_domains in
+        let pending : pending Vec.t = Vec.create () in
+        let flush () =
+          let chunk = Vec.to_array pending in
+          Vec.clear pending;
+          let results = verify_chunk ~domains:check_domains chunk in
+          Array.iteri
+            (fun i (v, dt) ->
+              check_wall := !check_wall +. dt;
+              let p = chunk.(i) in
+              match v with
+              | V_ok -> ()
+              | V_skip -> incr nskip
+              | V_exn e -> raise e
+              | V_viol msg ->
+                  incr sviol;
+                  if !first = None then first := Some (p.pd_run, now () -. t0);
+                  violations :=
+                    {
+                      v_workload = workload;
+                      v_n = n;
+                      v_policy = name;
+                      v_seed = p.pd_seed;
+                      v_schedule = p.pd_schedule;
+                      v_crashes = p.pd_crashes;
+                      v_error = msg;
+                    }
+                    :: !violations)
+            results
+        in
         let keep_going () =
           !nrun < runs
           && !sviol < max_violations
@@ -111,6 +204,7 @@ let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
           let run_seed = Rng.int prng 0x3FFFFFFF in
           let rng = Rng.create run_seed in
           let sim = Sim.create ?max_steps ~n () in
+          let setup, check = instantiate () in
           setup sim;
           let crashes =
             if spec.crash_faults then gen_crashes rng n max_crash_steps else []
@@ -121,9 +215,17 @@ let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
           in
           (try
              Sim.run sim pol;
-             check sim
+             Vec.push pending
+               {
+                 pd_run = !nrun;
+                 pd_seed = run_seed;
+                 pd_schedule = Vec.to_array buf;
+                 pd_crashes = crashes;
+                 pd_check = (fun () -> check sim);
+               }
            with
           | Violation msg ->
+              (* a check raised from inside a process fiber *)
               incr sviol;
               if !first = None then first := Some (!nrun, now () -. t0);
               violations :=
@@ -139,14 +241,18 @@ let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
                 :: !violations
           | Skip _ | Sim.Livelock _ -> incr nskip);
           nturn := !nturn + Vec.length buf;
-          incr nrun
+          incr nrun;
+          if Vec.length pending >= chunk_size then flush ()
         done;
+        flush ();
         {
           s_policy = name;
           s_runs = !nrun;
           s_turns = !nturn;
           s_violations = !sviol;
           s_skipped = !nskip;
+          s_checked_large = Atomic.get large_counter - large0;
+          s_check_wall = !check_wall;
           s_wall = now () -. t0;
           s_first_failure = !first;
         })

@@ -17,9 +17,18 @@ exception Violation of string
     message is recorded in the {!violation} and the repro artifact. *)
 
 exception Skip of string
-(** Raised by [check] functions when a run cannot be judged — e.g. the
-    history exceeds {!Scs_history.Linearize.max_operations}. Counted in
-    {!policy_stats.s_skipped}, never treated as a failure. *)
+(** Raised by [check] functions when a run cannot be judged. Counted in
+    {!policy_stats.s_skipped}, never treated as a failure. Since the
+    scalable linearizability checker landed, no stock workload skips for
+    history size any more — past-cap histories are checked and counted
+    via {!checked_large} instead. *)
+
+val checked_large : unit -> unit
+(** Called by [check] functions that verified a history larger than the
+    legacy {!Scs_history.Linearize.max_operations} cap (such runs were
+    skipped before the scalable checker). Counted per policy in
+    {!policy_stats.s_checked_large}; safe to call from verification
+    worker domains. *)
 
 (** {1 Scheduler portfolio} *)
 
@@ -55,6 +64,12 @@ type policy_stats = {
   s_turns : int;  (** total scheduler turns across all runs *)
   s_violations : int;
   s_skipped : int;  (** {!Skip} + livelocked runs *)
+  s_checked_large : int;
+      (** runs whose history exceeded the legacy 62-op linearizer cap and
+          were checked anyway (see {!checked_large}) *)
+  s_check_wall : float;
+      (** seconds spent inside [check], summed across runs (and across
+          verification domains, so it can exceed elapsed wall time) *)
   s_wall : float;
   s_first_failure : (int * float) option;
       (** run index and wall-clock seconds of the first violation *)
@@ -80,22 +95,35 @@ val run :
   ?seed:int ->
   ?max_steps:int ->
   ?max_crash_steps:int ->
+  ?check_domains:int ->
   workload:string ->
   n:int ->
-  setup:(Sim.t -> unit) ->
-  check:(Sim.t -> unit) ->
+  instantiate:(unit -> (Sim.t -> unit) * (Sim.t -> unit)) ->
   unit ->
   report
-(** [run ~workload ~n ~setup ~check ()] fuzzes: for each policy spec (in
+(** [run ~workload ~n ~instantiate ()] fuzzes: for each policy spec (in
     order), up to [runs] simulations (default 1000) or [time_budget]
     wall-clock seconds, each policy stopping once it has found
     [max_violations] violations of its own (so every portfolio member
-    reports its own time-to-first-failure). Each run builds a fresh sim, applies [setup] (which
-    spawns the processes), drives it under the policy with the schedule
-    captured, then applies [check], interpreting {!Violation} as a
-    failure and {!Skip} / {!Sim.Livelock} as a skipped run. Crash-fault
-    specs crash each pid with probability 1/4 after 1..[max_crash_steps]
-    (default 15) memory steps. Fully deterministic given [seed]. *)
+    reports its own time-to-first-failure). Each run calls [instantiate]
+    for a fresh linked [(setup, check)] pair, builds a fresh sim, applies
+    [setup] (which spawns the processes), drives it under the policy with
+    the schedule captured, then applies [check], interpreting {!Violation}
+    as a failure and {!Skip} / {!Sim.Livelock} as a skipped run.
+    Crash-fault specs crash each pid with probability 1/4 after
+    1..[max_crash_steps] (default 15) memory steps.
+
+    [check_domains] (default 1) fans run verification out over that many
+    OCaml domains: executions are produced by the schedule loop and
+    checked in chunks concurrently, instead of interleaving checker time
+    into the loop. Because every run has its own instance, checks of
+    distinct runs share no mutable state — but [check] closures must be
+    domain-safe in what else they touch. With [check_domains = 1] the
+    engine verifies inline after each run and is fully deterministic
+    given [seed]; with more domains, verdicts and stats are unchanged but
+    a policy may execute up to one chunk (16 × domains runs) beyond its
+    [max_violations] stop, and [s_first_failure] timing reflects chunked
+    verification. *)
 
 val replay :
   ?max_steps:int ->

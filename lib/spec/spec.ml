@@ -4,10 +4,11 @@ type ('q, 'i, 'r) t = {
   apply : 'q -> 'i -> 'q * 'r;
   equal_state : 'q -> 'q -> bool;
   equal_resp : 'r -> 'r -> bool;
+  hash_state : 'q -> int;
   show_req : 'i -> string;
   show_resp : 'r -> string;
 }
 
 let make ~name ~init ~apply ?(equal_state = ( = )) ?(equal_resp = ( = ))
-    ?(show_req = fun _ -> "_") ?(show_resp = fun _ -> "_") () =
-  { name; init; apply; equal_state; equal_resp; show_req; show_resp }
+    ?(hash_state = Hashtbl.hash) ?(show_req = fun _ -> "_") ?(show_resp = fun _ -> "_") () =
+  { name; init; apply; equal_state; equal_resp; hash_state; show_req; show_resp }

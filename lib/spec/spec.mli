@@ -3,9 +3,9 @@
     The paper defines an object as a quadruple [(Q, s, I, R, Δ)] — states,
     start state, requests, responses and a sequential specification
     [Δ ⊆ Q × I × Q × R]. We represent the (deterministic) specification as
-    an [apply] function together with equality and printing support, which
-    is what the history machinery, the linearizability checker and the
-    universal construction consume. *)
+    an [apply] function together with equality, hashing and printing
+    support, which is what the history machinery, the linearizability
+    checker and the universal construction consume. *)
 
 type ('q, 'i, 'r) t = {
   name : string;
@@ -13,6 +13,13 @@ type ('q, 'i, 'r) t = {
   apply : 'q -> 'i -> 'q * 'r;
   equal_state : 'q -> 'q -> bool;
   equal_resp : 'r -> 'r -> bool;
+  hash_state : 'q -> int;
+      (** Must be consistent with [equal_state]: equal states hash
+          equally. Consumed by the linearizability checker's hashed
+          state memo ({!Scs_history.Linearize}); an inconsistent hash
+          only costs memo misses (slower, never unsound), but an
+          [equal_state] coarser than observational equivalence makes
+          any memoized search unsound — see the checker's docs. *)
   show_req : 'i -> string;
   show_resp : 'r -> string;
 }
@@ -23,8 +30,11 @@ val make :
   apply:('q -> 'i -> 'q * 'r) ->
   ?equal_state:('q -> 'q -> bool) ->
   ?equal_resp:('r -> 'r -> bool) ->
+  ?hash_state:('q -> int) ->
   ?show_req:('i -> string) ->
   ?show_resp:('r -> string) ->
   unit ->
   ('q, 'i, 'r) t
-(** Equalities default to structural equality; printers default to ["_"]. *)
+(** Equalities default to structural equality and [hash_state] to the
+    matching structural [Hashtbl.hash]; printers default to ["_"].
+    Supply [hash_state] alongside any custom [equal_state]. *)

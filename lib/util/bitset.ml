@@ -1,0 +1,76 @@
+(* Growable bitvector backed by Bytes. Bit [i] lives in byte [i lsr 3],
+   position [i land 7]; trailing zero bytes are insignificant, so values
+   that differ only in allocated capacity compare equal and hash alike. *)
+
+type t = { mutable data : Bytes.t }
+
+let create ~bits = { data = Bytes.make ((max bits 1 + 7) lsr 3) '\000' }
+
+let capacity t = Bytes.length t.data lsl 3
+
+let ensure t nbytes =
+  let len = Bytes.length t.data in
+  if nbytes > len then begin
+    let data = Bytes.make (max nbytes (2 * len)) '\000' in
+    Bytes.blit t.data 0 data 0 len;
+    t.data <- data
+  end
+
+let set t i =
+  ensure t ((i lsr 3) + 1);
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.data b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.data b) lor (1 lsl (i land 7))))
+
+let clear t i =
+  let b = i lsr 3 in
+  if b < Bytes.length t.data then
+    Bytes.unsafe_set t.data b
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.data b) land lnot (1 lsl (i land 7))))
+
+let test t i =
+  let b = i lsr 3 in
+  b < Bytes.length t.data
+  && Char.code (Bytes.unsafe_get t.data b) land (1 lsl (i land 7)) <> 0
+
+let copy t = { data = Bytes.copy t.data }
+
+(* index just past the last nonzero byte: the significant prefix *)
+let significant data =
+  let n = ref (Bytes.length data) in
+  while !n > 0 && Bytes.unsafe_get data (!n - 1) = '\000' do
+    decr n
+  done;
+  !n
+
+let equal a b =
+  let la = significant a.data and lb = significant b.data in
+  la = lb
+  &&
+  let i = ref 0 in
+  while !i < la && Bytes.unsafe_get a.data !i = Bytes.unsafe_get b.data !i do
+    incr i
+  done;
+  !i = la
+
+(* FNV-1a over the significant prefix: no allocation, zero-extension
+   invariant (equal sets hash equally regardless of capacity). *)
+let hash t =
+  let n = significant t.data in
+  let h = ref 0x811C9DC5 in
+  for i = 0 to n - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get t.data i)) * 0x01000193
+  done;
+  !h land max_int
+
+let popcount t =
+  let n = Bytes.length t.data in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    let b = ref (Char.code (Bytes.unsafe_get t.data i)) in
+    while !b <> 0 do
+      b := !b land (!b - 1);
+      incr c
+    done
+  done;
+  !c

@@ -1,0 +1,31 @@
+(** Growable bitvector, [Bytes]-backed.
+
+    Replaces word-sized [int] bitmasks where more than 62 bits are
+    needed (the linearizability checker's linearized-operation set).
+    All bits start cleared; [set] grows the backing buffer on demand
+    (amortised doubling), [test]/[clear] beyond the current capacity are
+    a no-op read of 0. Capacity is an implementation detail: two sets
+    holding the same bits are [equal] and [hash] alike even if their
+    buffers differ in length. Not thread-safe. *)
+
+type t
+
+val create : bits:int -> t
+(** Fresh all-zero set pre-sized for [bits] bits (grows beyond on demand). *)
+
+val capacity : t -> int
+(** Current capacity in bits (a multiple of 8). *)
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val test : t -> int -> bool
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Bit-for-bit equality, ignoring trailing zeros / capacity. *)
+
+val hash : t -> int
+(** Content hash consistent with {!equal} (FNV-1a over significant bytes). *)
+
+val popcount : t -> int
+(** Number of set bits. *)

@@ -15,20 +15,14 @@ type t = {
 
 let violation fmt = Printf.ksprintf (fun s -> raise (Fuzz.Violation s)) fmt
 
-(* Generic Wing–Gong checks are capped at [Linearize.max_operations];
-   a fuzz batch must skip such runs (with the skip counted in the
-   report), not die mid-batch. *)
-let lin_guard f =
-  try f ()
-  with Linearize.Capacity_exceeded n ->
-    raise
-      (Fuzz.Skip
-         (Printf.sprintf "history has %d operations, past the %d-op lin-check cap" n
-            Linearize.max_operations))
+(* Count a history past the legacy 62-op cap as checked-large (such runs
+   were skipped before the scalable checker). *)
+let note_large nops = if nops > Linearize.max_operations then Fuzz.checked_large ()
 
-(* Fuzzing is sequential within a batch (unlike [Explore.exhaustive]'s
-   domain fan-out), so a plain ref is the right channel between each
-   run's [setup] and the [check] that immediately follows it. *)
+(* Each run gets its own workload instance ([Fuzz.run ~instantiate]), so a
+   plain ref is the right channel between a run's [setup] and its [check]
+   — even when checks are verified on worker domains, no two runs share a
+   slot. *)
 let slot () = ref None
 let get slot = Option.get !slot
 
@@ -287,13 +281,107 @@ let consensus_chain =
         { setup; check });
   }
 
+(* ---- long-lived TAS --------------------------------------------------- *)
+
+(* The paper's Section 6 long-lived TAS (strict per-round variant): each
+   process runs enough test-and-set rounds that the global resettable-TAS
+   history always exceeds 200 operations — exactly the runs the legacy
+   62-op bitmask checker had to skip. The check verifies the whole
+   history with the scalable checker AND cross-checks the compositional
+   front-end: each round lives in its own one-shot instance, so splitting
+   by round id is a sound per-object decomposition (every partition is
+   checked against a fresh resettable-TAS spec; the split agrees with the
+   monolithic verdict by the compositionality theorem). *)
+let tas_long_lived =
+  {
+    name = "tas-long-lived";
+    describe = "strict long-lived TAS, 200+ ops: scalable + per-round split lin-check";
+    default_n = 3;
+    expect_failures = false;
+    instantiate =
+      (fun ~n ->
+        let iters = (200 + n - 1) / n in
+        let s = slot () in
+        let setup sim =
+          let module P = (val Scs_prims.Sim_prims.make sim) in
+          let module LL = Scs_tas.Long_lived.Make (P) in
+          let ll = LL.create ~strict:true ~name:"ll" ~rounds:((n * iters) + 1) () in
+          let gen = Request.Gen.create () in
+          let tr : (Objects.rtas_req, Objects.rtas_resp, unit) Trace.t =
+            Trace.create ~clock:(fun () -> Sim.clock sim) ()
+          in
+          (* request id -> round, for the compositional split *)
+          let round_of : (int, int) Hashtbl.t = Hashtbl.create 128 in
+          s := Some (tr, round_of);
+          for pid = 0 to n - 1 do
+            Sim.spawn sim pid (fun () ->
+                let h = LL.handle ll ~pid in
+                for _ = 1 to iters do
+                  let req = Request.Gen.fresh gen Objects.R_test_and_set in
+                  Trace.invoke tr ~pid req;
+                  let resp, _stage, round = LL.test_and_set_info h in
+                  Hashtbl.replace round_of (Request.id req) round;
+                  Trace.commit tr ~pid req
+                    (match resp with
+                    | Objects.Winner -> Objects.R_winner
+                    | Objects.Loser -> Objects.R_loser);
+                  if resp = Objects.Winner then begin
+                    let rq = Request.Gen.fresh gen Objects.R_reset in
+                    Trace.invoke tr ~pid rq;
+                    Hashtbl.replace round_of (Request.id rq) round;
+                    (* the round-count write happens inside [reset], before
+                       the commit below — so every round-r operation is
+                       invoked before reset r's commit and may linearize
+                       ahead of it *)
+                    LL.reset h;
+                    Trace.commit tr ~pid rq Objects.R_ok
+                  end
+                done)
+          done
+        in
+        let check _sim =
+          let tr, round_of = get s in
+          let ops = Trace.operations (Trace.events tr) in
+          note_large (List.length ops);
+          if not (Linearize.check_operations Objects.resettable_tas ops) then
+            violation "long-lived TAS history (%d ops) not linearizable"
+              (List.length ops);
+          (* compositional cross-check: one partition per round. Sound only
+             when every operation's round is known: a process crashed before
+             [test_and_set_info] returned leaves a Pending op with no
+             recorded round, and that op may still have taken effect — e.g.
+             won its round's hardware TAS, making a committed Loser in that
+             round globally linearizable. Misplacing it in a catch-all
+             partition strands the Loser alone with a fresh spec, a false
+             violation (found by this very fuzzer under uniform+crash). *)
+          let round o =
+            Hashtbl.find_opt round_of (Request.id o.Trace.op_req)
+          in
+          if List.for_all (fun o -> round o <> None) ops then
+            let key o = Option.get (round o) in
+            if
+              not
+                (Linearize.check_partitioned ~key
+                   ~spec:(fun _ -> Objects.resettable_tas)
+                   ops)
+            then
+              violation "per-round split of long-lived TAS history not linearizable"
+        in
+        { setup; check });
+  }
+
 (* ---- speculative queue ------------------------------------------------ *)
 
-(* The only workload whose check uses the generic (capped) Wing–Gong
-   search: at n ≥ 16 the 4n-operation history exceeds the 62-op cap and
-   the run is skipped, exercising the report's skip counter. *)
+(* 22 ops per process puts even the default n = 3 history (66 ops) past
+   the legacy 62-op cap — such runs used to be skipped and are now checked
+   (and counted as checked-large). Checking cost is exponential in
+   concurrency width (= n here, since the queue is a single object), not
+   length, so the check carries a node budget: at sane n it never fires,
+   and at adversarial width (n ≳ 10) the run degrades to an honest skip
+   instead of hanging the batch. *)
 let queue =
-  let ops_per_proc = 4 in
+  let ops_per_proc = 22 in
+  let search_budget = 200_000 in
   {
     name = "queue";
     describe = "speculative queue (lib/futures): generic linearizability";
@@ -332,23 +420,48 @@ let queue =
           done
         in
         let check _sim =
-          lin_guard (fun () ->
-              if not (Linearize.check_events Objects.queue (Trace.events (get s))) then
-                violation "queue history not linearizable")
+          let ops = Trace.operations (Trace.events (get s)) in
+          let nops = List.length ops in
+          match
+            Linearize.check_operations ~budget:search_budget Objects.queue ops
+          with
+          | ok ->
+              note_large nops;
+              if not ok then violation "queue history not linearizable"
+          | exception Linearize.Search_budget_exceeded b ->
+              raise
+                (Fuzz.Skip
+                   (Printf.sprintf
+                      "lin-check search budget (%d nodes) exceeded on %d-op history" b
+                      nops))
         in
         { setup; check });
   }
 
 let all =
-  [ f1; f2; tas_composed; tas_strict; tas_solo_fast; splitter; consensus_chain; queue ]
+  [
+    f1;
+    f2;
+    tas_composed;
+    tas_strict;
+    tas_solo_fast;
+    tas_long_lived;
+    splitter;
+    consensus_chain;
+    queue;
+  ]
 
 let find name = List.find_opt (fun w -> w.name = name) all
 let names () = List.map (fun w -> w.name) all
 
-let fuzz ?policies ?runs ?time_budget ?max_violations ?seed ?max_steps w ~n =
-  let { setup; check } = w.instantiate ~n in
+let fuzz ?policies ?runs ?time_budget ?max_violations ?seed ?max_steps ?check_domains
+    w ~n =
   Fuzz.run ?policies ?runs ?time_budget ?max_violations ?seed ?max_steps
-    ~workload:w.name ~n ~setup ~check ()
+    ?check_domains ~workload:w.name ~n
+    ~instantiate:(fun () ->
+      let { setup; check } = w.instantiate ~n in
+      (setup, check))
+    ()
 
 type replay_outcome =
   | Violates of string  (** the recorded violation reproduces *)

@@ -3,8 +3,10 @@
     algorithms under test. Each workload packages a [setup] that spawns
     the processes on a fresh simulator and a [check] that judges the
     finished run, raising {!Scs_sim.Fuzz.Violation} on failure and
-    {!Scs_sim.Fuzz.Skip} when a run cannot be judged (e.g. the history
-    exceeds the generic lin-checker's operation cap).
+    {!Scs_sim.Fuzz.Skip} when a run cannot be judged. Since the scalable
+    linearizability checker, no stock workload skips for history size:
+    past-cap histories are verified and counted via
+    {!Scs_sim.Fuzz.checked_large}.
 
     Workloads with [expect_failures = true] ([f1], [f2]) are known-failing
     finders that re-discover findings F-1/F-2 by random search — useful
@@ -22,9 +24,10 @@ type t = {
   expect_failures : bool;  (** violations are the point, not a regression *)
   instantiate : n:int -> instance;
       (** Fresh linked [setup]/[check] pair. Each run must call [setup]
-          on a fresh sim and [check] right after it; the pair communicates
-          through a slot reset by [setup], so instances are sequential —
-          never share one across domains. *)
+          on a fresh sim and eventually [check] on the finished run; the
+          pair communicates through a slot set by [setup]. One instance is
+          never shared between runs ({!Scs_sim.Fuzz.run} instantiates per
+          run), so deferring [check] to a verification domain is safe. *)
 }
 
 val f1 : t
@@ -32,6 +35,16 @@ val f2 : t
 val tas_composed : t
 val tas_strict : t
 val tas_solo_fast : t
+
+val tas_long_lived : t
+(** Strict long-lived TAS: every run's history has 200+ operations (well
+    past the legacy 62-op checker cap) and 60+ resets, verified by the
+    scalable checker plus a per-round compositional cross-check. The
+    cross-check only runs when every operation's round is known: a crash
+    inside test-and-set can leave a pending operation whose round was
+    never recorded, and guessing its partition makes the split unsound
+    (see the partition-key hazard test in test/test_history.ml). *)
+
 val splitter : t
 val consensus_chain : t
 val queue : t
@@ -47,10 +60,12 @@ val fuzz :
   ?max_violations:int ->
   ?seed:int ->
   ?max_steps:int ->
+  ?check_domains:int ->
   t ->
   n:int ->
   Fuzz.report
-(** {!Fuzz.run} on a fresh instance of the workload. *)
+(** {!Fuzz.run} with a fresh instance of the workload per run;
+    [check_domains] fans checker work out as documented there. *)
 
 type replay_outcome =
   | Violates of string  (** the recorded violation reproduces *)

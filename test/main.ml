@@ -6,6 +6,7 @@ let () =
       ("explore", Test_explore.tests);
       ("spec", Test_spec.tests);
       ("history", Test_history.tests);
+      ("linearize-diff", Test_linearize_diff.tests);
       ("splitter", Test_splitter.tests);
       ("consensus", Test_consensus.tests);
       ("a1", Test_a1.tests);

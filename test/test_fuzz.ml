@@ -104,16 +104,101 @@ let test_portfolio_green_workloads () =
       end)
     Fuzz_run.all
 
-let test_queue_skips_past_lin_cap () =
-  (* 16 processes x 4 ops = 64 operations > the 62-op cap: every run must
-     be counted as skipped, none may die or count as a violation *)
-  let report = Fuzz_run.fuzz ~policies:uniform ~runs:3 ~seed:3 Fuzz_run.queue ~n:16 in
+let test_queue_past_cap_checked () =
+  (* 3 processes x 22 ops = 66 operations > the legacy 62-op cap: such
+     runs used to be skipped and are now checked and counted as
+     checked-large, with zero capacity skips *)
+  let report = Fuzz_run.fuzz ~policies:uniform ~runs:3 ~seed:3 Fuzz_run.queue ~n:3 in
   match report.Fuzz.r_stats with
   | [ s ] ->
-      Alcotest.(check int) "all runs skipped" 3 s.Fuzz.s_skipped;
+      Alcotest.(check int) "no skips" 0 s.Fuzz.s_skipped;
+      Alcotest.(check int) "all runs checked past the cap" 3 s.Fuzz.s_checked_large;
       Alcotest.(check int) "no violations" 0 s.Fuzz.s_violations;
       Alcotest.(check int) "all runs accounted" 3 s.Fuzz.s_runs
   | _ -> Alcotest.fail "expected one policy"
+
+let test_long_lived_fuzz_no_capacity_skips () =
+  (* the headline acceptance check: 200+ op long-lived TAS histories are
+     actually verified — zero capacity skips, every run counted as
+     checked-large, and the scalable + per-round compositional checks
+     both hold *)
+  let report =
+    Fuzz_run.fuzz ~policies:uniform ~runs:5 ~seed:9 Fuzz_run.tas_long_lived ~n:3
+  in
+  match report.Fuzz.r_stats with
+  | [ s ] ->
+      Alcotest.(check int) "no skips" 0 s.Fuzz.s_skipped;
+      Alcotest.(check int) "every run checked past the cap" 5 s.Fuzz.s_checked_large;
+      Alcotest.(check int) "no violations" 0 s.Fuzz.s_violations
+  | _ -> Alcotest.fail "expected one policy"
+
+let test_long_lived_direct_sequential () =
+  (* one deterministic sequential run, inspected directly: enough rounds
+     to give 100+ resets, a history far past the legacy cap, decided by
+     the scalable checker but rejected by Legacy-mode capacity *)
+  let open Scs_spec in
+  let open Scs_history in
+  let n = 3 in
+  let iters = 67 in
+  let sim = Sim.create ~n () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module LL = Scs_tas.Long_lived.Make (P) in
+  let ll = LL.create ~strict:true ~name:"ll" ~rounds:((n * iters) + 1) () in
+  let gen = Request.Gen.create () in
+  let tr : (Objects.rtas_req, Objects.rtas_resp, unit) Trace.t =
+    Trace.create ~clock:(fun () -> Sim.clock sim) ()
+  in
+  for pid = 0 to n - 1 do
+    Sim.spawn sim pid (fun () ->
+        let h = LL.handle ll ~pid in
+        for _ = 1 to iters do
+          let req = Request.Gen.fresh gen Objects.R_test_and_set in
+          Trace.invoke tr ~pid req;
+          let resp, _, _ = LL.test_and_set_info h in
+          Trace.commit tr ~pid req
+            (match resp with
+            | Objects.Winner -> Objects.R_winner
+            | Objects.Loser -> Objects.R_loser);
+          if resp = Objects.Winner then begin
+            let rq = Request.Gen.fresh gen Objects.R_reset in
+            Trace.invoke tr ~pid rq;
+            LL.reset h;
+            Trace.commit tr ~pid rq Objects.R_ok
+          end
+        done)
+  done;
+  Sim.run sim (Policy.sequential ());
+  let ops = Trace.operations (Trace.events tr) in
+  let nops = List.length ops in
+  let resets =
+    List.length
+      (List.filter
+         (fun (o : _ Trace.operation) ->
+           Request.payload o.Trace.op_req = Objects.R_reset)
+         ops)
+  in
+  Alcotest.(check bool) (Printf.sprintf "history is large (%d ops)" nops) true (nops >= 300);
+  Alcotest.(check bool) (Printf.sprintf "long-lived: %d resets" resets) true (resets >= 100);
+  Alcotest.(check bool) "scalable checker accepts" true
+    (Linearize.check_operations Objects.resettable_tas ops);
+  try
+    ignore (Linearize.check_operations ~mode:Linearize.Legacy Objects.resettable_tas ops);
+    Alcotest.fail "legacy mode should reject on capacity"
+  with Linearize.Capacity_exceeded k -> Alcotest.(check int) "capacity count" nops k
+
+let test_check_domains_equivalent () =
+  (* parallel verification must not change verdicts or accounting *)
+  let stats cd =
+    let report =
+      Fuzz_run.fuzz ~policies:uniform ~runs:20 ~seed:13 ~check_domains:cd Fuzz_run.queue
+        ~n:3
+    in
+    match report.Fuzz.r_stats with
+    | [ s ] -> (s.Fuzz.s_runs, s.Fuzz.s_violations, s.Fuzz.s_skipped, s.Fuzz.s_checked_large)
+    | _ -> Alcotest.fail "expected one policy"
+  in
+  let r1 = stats 1 and r2 = stats 2 in
+  Alcotest.(check bool) "same runs/violations/skips/checked-large" true (r1 = r2)
 
 let test_crash_variant_finds_f1 () =
   (* crash-injecting portfolio member also rediscovers F-1, and its
@@ -200,8 +285,14 @@ let tests =
       test_fuzz_deterministic;
     Alcotest.test_case "green workloads fuzz clean (smoke portfolio)" `Quick
       test_portfolio_green_workloads;
-    Alcotest.test_case "queue past the 62-op cap is skipped, counted" `Quick
-      test_queue_skips_past_lin_cap;
+    Alcotest.test_case "queue past the 62-op cap is checked, counted" `Quick
+      test_queue_past_cap_checked;
+    Alcotest.test_case "long-lived TAS: zero capacity skips in a fuzz batch" `Quick
+      test_long_lived_fuzz_no_capacity_skips;
+    Alcotest.test_case "long-lived TAS: 100+ resets checked directly" `Quick
+      test_long_lived_direct_sequential;
+    Alcotest.test_case "check-domains parallel verify is equivalent" `Quick
+      test_check_domains_equivalent;
     Alcotest.test_case "crash-injecting policy finds and replays F-1" `Quick
       test_crash_variant_finds_f1;
     Alcotest.test_case "regression: bakery Dec clobber (fuzzer-found)" `Quick
