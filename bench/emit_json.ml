@@ -1,0 +1,75 @@
+(* Emit the bench trajectory for this PR: a validated JSON file
+   (schema scs.bench.trajectory/1, see docs/metrics.md) with one record
+   per (workload, n) cell, measured by the obs sink via Obs_run.
+
+   Usage:
+     dune exec bench/emit_json.exe -- [-o FILE] [--run ID] [--seed S] [--runs K]
+     dune exec bench/emit_json.exe -- --check FILE   # validate only (CI smoke)
+
+   The committed BENCH_4.json at the repo root is produced by the
+   default invocation:
+     dune exec bench/emit_json.exe -- -o BENCH_4.json *)
+
+open Scs_workload
+open Scs_obs
+
+let cells =
+  (* workloads x process counts covered by the trajectory; chosen to
+     exercise both contention classes (interval: split, step: bakery)
+     plus the composed speculative TAS the paper centres on *)
+  [
+    (Obs_run.A1, [ 2; 4; 8 ]);
+    (Obs_run.Tas Tas_run.Composed, [ 2; 4; 8 ]);
+    (Obs_run.Tas Tas_run.Solo_fast, [ 2; 4; 8 ]);
+    (Obs_run.Cons Cons_run.Split, [ 2; 4; 8 ]);
+    (Obs_run.Cons Cons_run.Bakery, [ 2; 4; 8 ]);
+  ]
+
+let emit ~out ~run ~seed ~runs =
+  let records =
+    List.concat_map
+      (fun (target, ns) ->
+        List.map
+          (fun n -> Obs_run.to_record (Obs_run.measure ~runs ~seed target ~n))
+          ns)
+      cells
+  in
+  let t = { Trajectory.run; seed; records } in
+  Trajectory.save out t;
+  Printf.printf "wrote %s: %d records, schema %s\n" out (List.length records)
+    Trajectory.schema_version
+
+let check file =
+  match Trajectory.load file with
+  | Ok t ->
+      Printf.printf "%s: valid (%s, run %s, %d records)\n" file
+        Trajectory.schema_version t.Trajectory.run
+        (List.length t.Trajectory.records);
+      exit 0
+  | Error msg ->
+      Printf.eprintf "%s: INVALID: %s\n" file msg;
+      exit 1
+
+let () =
+  let out = ref "BENCH_4.json" in
+  let run = ref "pr4" in
+  let seed = ref 42 in
+  let runs = ref 200 in
+  let check_file = ref None in
+  let spec =
+    [
+      ("-o", Arg.Set_string out, "FILE output path (default BENCH_4.json)");
+      ("--run", Arg.Set_string run, "ID run identifier (default pr4)");
+      ("--seed", Arg.Set_int seed, "S root seed (default 42)");
+      ("--runs", Arg.Set_int runs, "K simulations per cell (default 200)");
+      ( "--check",
+        Arg.String (fun f -> check_file := Some f),
+        "FILE validate an existing trajectory file and exit" );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" a)))
+    "emit_json [-o FILE] [--run ID] [--seed S] [--runs K] | --check FILE";
+  match !check_file with
+  | Some f -> check f
+  | None -> emit ~out:!out ~run:!run ~seed:!seed ~runs:!runs

@@ -240,6 +240,9 @@ let print_fuzz_report (r : Fuzz.report) =
           s.Fuzz.s_policy;
           string_of_int s.Fuzz.s_runs;
           Printf.sprintf "%.0f" (Fuzz.schedules_per_sec s);
+          Printf.sprintf "%.0f" s.Fuzz.s_step_p50;
+          Printf.sprintf "%.0f" s.Fuzz.s_step_p99;
+          string_of_int s.Fuzz.s_max_contention;
           string_of_int s.Fuzz.s_violations;
           string_of_int s.Fuzz.s_skipped;
           string_of_int s.Fuzz.s_checked_large;
@@ -253,7 +256,10 @@ let print_fuzz_report (r : Fuzz.report) =
   Scs_util.Table.print
     ~title:(Printf.sprintf "fuzz %s n=%d seed=%d" r.Fuzz.r_workload r.Fuzz.r_n r.Fuzz.r_seed)
     ~header:
-      [ "policy"; "runs"; "sched/s"; "viol"; "skip"; "large"; "check s"; "first failure" ]
+      [
+        "policy"; "runs"; "sched/s"; "p50 st"; "p99 st"; "maxC"; "viol"; "skip"; "large";
+        "check s"; "first failure";
+      ]
     rows
 
 let fuzz_cmd =
@@ -375,6 +381,154 @@ let fuzz_cmd =
       const run $ workload_arg $ list_arg $ n_opt_arg $ runs_arg $ budget_arg $ max_viol_arg
       $ seed_arg $ out_arg $ no_shrink_arg $ check_domains_arg)
 
+(* ---- stats ----------------------------------------------------------------- *)
+
+let stats_cmd =
+  let target_arg =
+    Arg.(
+      value & opt string "speculative"
+      & info [ "target" ] ~docv:"TARGET"
+          ~doc:"Instrumented workload to measure (see $(b,--list-targets)).")
+  in
+  let list_targets_arg =
+    Arg.(value & flag & info [ "list-targets" ] ~doc:"List measurable targets and exit.")
+  in
+  let ns_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "ns" ] ~docv:"N1,N2,..."
+          ~doc:"Sweep process counts (overrides $(b,-n)); one table row and one JSON \
+                record per value.")
+  in
+  let runs_arg =
+    Arg.(value & opt int 200 & info [ "runs" ] ~docv:"K" ~doc:"Seeded simulations per row.")
+  in
+  let crash_prob_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "crash-prob" ] ~docv:"P"
+          ~doc:"Crash each process with probability $(docv) after 1-15 steps.")
+  in
+  let solo_arg =
+    Arg.(
+      value & flag
+      & info [ "solo" ]
+          ~doc:"Measure one solo run of process 0 instead of a seeded batch (the \
+                uncontended cost the paper's complexity claims are stated for).")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the rows as a bench-trajectory JSON file (schema \
+                scs.bench.trajectory/1, validated on write; see docs/metrics.md).")
+  in
+  let run_id_arg =
+    Arg.(
+      value & opt string "stats"
+      & info [ "run-id" ] ~docv:"ID" ~doc:"The $(b,run) field of the emitted JSON.")
+  in
+  let objects_arg =
+    Arg.(
+      value & flag
+      & info [ "objects" ] ~doc:"Print the per-object step census of the last row.")
+  in
+  let run target list_targets ns n runs seed policy crash_prob solo json run_id objects =
+    if list_targets then begin
+      List.iter print_endline (Obs_run.target_names ());
+      exit 0
+    end;
+    let target =
+      match Obs_run.target_of_string target with
+      | Some t -> t
+      | None ->
+          Printf.eprintf "unknown target %s (try --list-targets)\n" target;
+          exit 1
+    in
+    let ns = if ns = [] then [ n ] else ns in
+    let aggs =
+      List.map
+        (fun n ->
+          if solo then Obs_run.solo target ~n
+          else
+            Obs_run.measure ~runs ~seed ~policy:(make_policy policy) ~crash_prob target
+              ~n)
+        ns
+    in
+    let rows =
+      List.map
+        (fun (a : Obs_run.agg) ->
+          [
+            string_of_int a.Obs_run.n;
+            string_of_int a.Obs_run.runs;
+            string_of_int (List.length a.Obs_run.ops);
+            Printf.sprintf "%.1f" a.Obs_run.steps.Scs_util.Stats.median;
+            Printf.sprintf "%.1f" a.Obs_run.steps.Scs_util.Stats.p99;
+            string_of_int (int_of_float a.Obs_run.step_cont.Scs_util.Stats.max);
+            string_of_int a.Obs_run.max_interval_contention;
+            string_of_int a.Obs_run.aborts;
+            string_of_int a.Obs_run.handoffs;
+            string_of_int a.Obs_run.crashes;
+            Printf.sprintf "%.0f" a.Obs_run.schedules_per_sec;
+          ])
+        aggs
+    in
+    Scs_util.Table.print
+      ~title:
+        (if solo then
+           Printf.sprintf "stats %s (solo run of p0)" (Obs_run.target_name target)
+         else
+           Printf.sprintf "stats %s (%s%s, %d runs/row)"
+             (Obs_run.target_name target)
+             (match policy with
+             | `Random -> "random"
+             | `Sequential -> "sequential"
+             | `Solo -> "solo-policy")
+             (if crash_prob > 0.0 then Printf.sprintf ", crash-prob %.2f" crash_prob
+              else "")
+             runs)
+      ~header:
+        [
+          "n"; "runs"; "ops"; "p50 steps"; "p99 steps"; "max stepC"; "max ivlC";
+          "aborts"; "handoffs"; "crashes"; "sched/s";
+        ]
+      rows;
+    (if objects then
+       match List.rev aggs with
+       | [] -> ()
+       | a :: _ ->
+           print_newline ();
+           Scs_util.Table.print
+             ~title:(Printf.sprintf "per-object step census (n=%d)" a.Obs_run.n)
+             ~header:[ "object"; "steps"; "rmws" ]
+             (List.map
+                (fun (name, steps, rmws) ->
+                  [ name; string_of_int steps; string_of_int rmws ])
+                a.Obs_run.objects));
+    match json with
+    | None -> ()
+    | Some path ->
+        let t =
+          {
+            Scs_obs.Trajectory.run = run_id;
+            seed;
+            records = List.map Obs_run.to_record aggs;
+          }
+        in
+        Scs_obs.Trajectory.save path t;
+        Printf.printf "\nwrote %s (%d records, schema %s)\n" path (List.length ns)
+          Scs_obs.Trajectory.schema_version
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Measure a workload with the observability sink: per-operation step \
+          percentiles, step/interval contention, aborts and switch-value handoffs, \
+          optionally emitted as a validated bench-trajectory JSON (docs/metrics.md).")
+    Term.(
+      const run $ target_arg $ list_targets_arg $ ns_arg $ n_arg $ runs_arg $ seed_arg
+      $ policy_arg $ crash_prob_arg $ solo_arg $ json_arg $ run_id_arg $ objects_arg)
+
 (* ---- replay ---------------------------------------------------------------- *)
 
 let replay_cmd =
@@ -411,8 +565,16 @@ let replay_cmd =
               | Fuzz_run.Skipped msg -> "skipped: " ^ msg
               | Fuzz_run.Drifted p -> Printf.sprintf "replay drift at pid %d" p
             in
-            Printf.printf "%s [%s n=%d %d turns]: %s\n" file r.Fuzz.Repro.workload n
-              (Array.length r.Fuzz.Repro.schedule) describe;
+            let crash_desc =
+              match r.Fuzz.Repro.crashes with
+              | [] -> ""
+              | cs ->
+                  Printf.sprintf " crashes %s"
+                    (String.concat ","
+                       (List.map (fun (p, k) -> Printf.sprintf "p%d@%d" p k) cs))
+            in
+            Printf.printf "%s [%s n=%d %d turns%s]: %s\n" file r.Fuzz.Repro.workload n
+              (Array.length r.Fuzz.Repro.schedule) crash_desc describe;
             if outcome <> Fuzz_run.Violates r.Fuzz.Repro.error then
               match outcome with
               | Fuzz_run.Violates _ -> () (* different message, still a violation *)
@@ -446,4 +608,5 @@ let () =
             explore_cmd;
             fuzz_cmd;
             replay_cmd;
+            stats_cmd;
           ]))

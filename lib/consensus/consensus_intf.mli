@@ -14,7 +14,23 @@
     on abort return [Abort old]; on [Commit None] propose the real value.
 
     Agreement: all [Commit (Some _)] outcomes of one instance carry the
-    same value. *)
+    same value.
+
+    The two Appendix A implementations trade solo cost against the
+    contention class that can force an abort — the trade-off T13 and
+    [scs stats] measure with the {!Scs_obs.Obs} sink:
+
+    - [SplitConsensus]: O(1) steps solo, but may abort under {e interval
+      contention} (a concurrent operation merely pending);
+    - [AbortableBakery]: Θ(n) steps solo, aborts only under {e step
+      contention} (another process actually taking steps inside the
+      interval).
+
+    Both progress guarantees are {e run-level}, not per-operation: each
+    implementation latches contention in shared state ([C], [Quit]), so
+    one contended interval can abort later, individually-uncontended
+    operations. The checkable invariant is "a run whose measured maximal
+    interval contention is 0 has no aborts" (asserted by T13). *)
 
 open Scs_composable
 

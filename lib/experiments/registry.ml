@@ -26,6 +26,11 @@ let all =
       title = "Checker throughput: scalable engine vs seed bitmask; differential agreement";
       run = Exp_t12.run;
     };
+    {
+      id = "T13";
+      title = "Observability layer: step/contention claims measured by the obs sink";
+      run = Exp_t13.run;
+    };
     { id = "F1"; title = "Figure 1 dynamics: contention sweep"; run = Exp_f1.run };
     { id = "F2"; title = "Native multicore throughput"; run = Exp_f2.run };
   ]

@@ -9,7 +9,17 @@
     - the simulator's memory-step clock ([ts]), used by the contention
       detectors.
 
-    ['v] is the type of switch values. *)
+    ['v] is the type of switch values — the information an aborted
+    operation hands to whatever replaces it, the central currency of the
+    paper's composition theorems (Theorems 1–2): [Abort] events carry
+    the switch value out, [Init] events carry one in.
+
+    Costs: recording is O(1) amortised per event ({!Scs_util.Vec} push);
+    {!operations} is a single O(events) pass with a hashtable keyed by
+    request id. The trace is the input to every checker in this library
+    (linearizability, abstractness, composition laws); for step-level
+    accounting use {!Scs_sim.Mem_event} / {!Scs_obs.Obs} instead —
+    this trace deliberately records only the operation boundary. *)
 
 open Scs_spec
 
@@ -33,10 +43,21 @@ val create : ?clock:(unit -> int) -> unit -> ('i, 'r, 'v) t
     event's own sequence number). *)
 
 val invoke : ('i, 'r, 'v) t -> pid:int -> 'i Request.t -> unit
+(** Record the start of an operation. O(1) amortised. *)
+
 val init : ('i, 'r, 'v) t -> pid:int -> 'i Request.t -> 'v -> unit
+(** Like {!invoke}, but the operation inherits [switch] from a
+    predecessor's abort (the paper's [init(w)] entry point). *)
+
 val commit : ('i, 'r, 'v) t -> pid:int -> 'i Request.t -> 'r -> unit
+(** Record a committed response. *)
+
 val abort : ('i, 'r, 'v) t -> pid:int -> 'i Request.t -> 'v -> unit
+(** Record an aborted response carrying its switch value. *)
+
 val events : ('i, 'r, 'v) t -> ('i, 'r, 'v) event array
+(** Snapshot of the recorded events in [seq] order. O(events). *)
+
 val length : ('i, 'r, 'v) t -> int
 
 (** {1 Derived operation view} *)

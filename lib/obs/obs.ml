@@ -1,0 +1,247 @@
+open Scs_util
+
+type kind = Read | Write | Rmw
+
+type event =
+  | Step of { ts : int; pid : int; kind : kind; obj : int; obj_name : string; info : string }
+  | Op_begin of { ts : int; pid : int; obj : int; label : string }
+  | Op_end of { ts : int; pid : int; obj : int; aborted : bool }
+  | Handoff of { ts : int; pid : int; label : string }
+  | Crash of { ts : int; pid : int }
+  | Note of { ts : int; text : string }
+
+type op_metric = {
+  om_pid : int;
+  om_obj : int;
+  om_label : string;
+  om_start : int;
+  om_finish : int;
+  om_steps : int;
+  om_step_contention : int;
+  om_interval_contention : int;
+  om_aborted : bool;
+}
+
+(* One open operation bracket. [oo_overlap] marks every other process
+   observed with a simultaneously-open bracket — its cardinality at
+   op_end is the interval contention of this operation. *)
+type open_op = {
+  oo_obj : int;
+  oo_label : string;
+  oo_start : int;
+  oo_steps0 : int;  (* own steps at begin *)
+  oo_total0 : int;  (* global steps at begin *)
+  oo_overlap : bool array;  (* length n *)
+}
+
+type t = {
+  enabled : bool;
+  n : int;
+  ring_capacity : int;
+  ring : event array;  (* circular; valid once written *)
+  mutable ring_head : int;  (* next write slot *)
+  mutable ring_len : int;
+  mutable clock : int;
+  steps : int array;
+  rmws : int array;
+  cas : int array;
+  aborts : int array;
+  handoffs : int array;
+  mutable crashed : int list;  (* reverse crash order *)
+  obj_tbl : (int, string * int ref * int ref) Hashtbl.t;
+  open_ops : open_op option array;
+  metrics : op_metric Vec.t;
+  mutable max_step_cont : int;
+  mutable max_ivl_cont : int;
+}
+
+let dummy_event = Note { ts = 0; text = "" }
+
+let create ?(ring_capacity = 4096) ~n () =
+  if n <= 0 then invalid_arg "Obs.create: n must be positive";
+  if ring_capacity <= 0 then invalid_arg "Obs.create: ring_capacity must be positive";
+  {
+    enabled = true;
+    n;
+    ring_capacity;
+    ring = Array.make ring_capacity dummy_event;
+    ring_head = 0;
+    ring_len = 0;
+    clock = 0;
+    steps = Array.make n 0;
+    rmws = Array.make n 0;
+    cas = Array.make n 0;
+    aborts = Array.make n 0;
+    handoffs = Array.make n 0;
+    crashed = [];
+    obj_tbl = Hashtbl.create 16;
+    open_ops = Array.make n None;
+    metrics = Vec.create ();
+    max_step_cont = 0;
+    max_ivl_cont = 0;
+  }
+
+let null =
+  {
+    enabled = false;
+    n = 0;
+    ring_capacity = 1;
+    ring = [| dummy_event |];
+    ring_head = 0;
+    ring_len = 0;
+    clock = 0;
+    steps = [||];
+    rmws = [||];
+    cas = [||];
+    aborts = [||];
+    handoffs = [||];
+    crashed = [];
+    obj_tbl = Hashtbl.create 1;
+    open_ops = [||];
+    metrics = Vec.create ();
+    max_step_cont = 0;
+    max_ivl_cont = 0;
+  }
+
+let enabled t = t.enabled
+
+let push_event t ev =
+  t.ring.(t.ring_head) <- ev;
+  t.ring_head <- (t.ring_head + 1) mod t.ring_capacity;
+  if t.ring_len < t.ring_capacity then t.ring_len <- t.ring_len + 1
+
+let is_cas info = String.length info >= 3 && String.sub info 0 3 = "cas"
+
+let step t ~pid ~kind ~obj ~obj_name ~info =
+  if t.enabled then begin
+    t.clock <- t.clock + 1;
+    t.steps.(pid) <- t.steps.(pid) + 1;
+    (match kind with
+    | Rmw ->
+        t.rmws.(pid) <- t.rmws.(pid) + 1;
+        if is_cas info then t.cas.(pid) <- t.cas.(pid) + 1
+    | Read | Write -> ());
+    (match Hashtbl.find_opt t.obj_tbl obj with
+    | Some (_, steps, rmws) ->
+        incr steps;
+        if kind = Rmw then incr rmws
+    | None ->
+        Hashtbl.add t.obj_tbl obj
+          (obj_name, ref 1, ref (if kind = Rmw then 1 else 0)));
+    push_event t (Step { ts = t.clock; pid; kind; obj; obj_name; info })
+  end
+
+let total_steps t = Array.fold_left ( + ) 0 t.steps
+
+let close_bracket t pid ~aborted =
+  match t.open_ops.(pid) with
+  | None -> ()
+  | Some oo ->
+      t.open_ops.(pid) <- None;
+      let own = t.steps.(pid) - oo.oo_steps0 in
+      let all = total_steps t - oo.oo_total0 in
+      let ivl = ref 0 in
+      Array.iter (fun b -> if b then incr ivl) oo.oo_overlap;
+      let m =
+        {
+          om_pid = pid;
+          om_obj = oo.oo_obj;
+          om_label = oo.oo_label;
+          om_start = oo.oo_start;
+          om_finish = t.clock;
+          om_steps = own;
+          om_step_contention = all - own;
+          om_interval_contention = !ivl;
+          om_aborted = aborted;
+        }
+      in
+      if m.om_step_contention > t.max_step_cont then
+        t.max_step_cont <- m.om_step_contention;
+      if m.om_interval_contention > t.max_ivl_cont then
+        t.max_ivl_cont <- m.om_interval_contention;
+      Vec.push t.metrics m;
+      push_event t (Op_end { ts = t.clock; pid; obj = oo.oo_obj; aborted })
+
+let op_begin t ~pid ~obj ~label =
+  if t.enabled then begin
+    close_bracket t pid ~aborted:false;
+    let oo =
+      {
+        oo_obj = obj;
+        oo_label = label;
+        oo_start = t.clock;
+        oo_steps0 = t.steps.(pid);
+        oo_total0 = total_steps t;
+        oo_overlap = Array.make t.n false;
+      }
+    in
+    (* Mutual overlap marking with every currently-open bracket. *)
+    Array.iteri
+      (fun q oq ->
+        match oq with
+        | Some oq when q <> pid ->
+            oq.oo_overlap.(pid) <- true;
+            oo.oo_overlap.(q) <- true
+        | _ -> ())
+      t.open_ops;
+    t.open_ops.(pid) <- Some oo;
+    push_event t (Op_begin { ts = t.clock; pid; obj; label })
+  end
+
+let op_end t ~pid ~aborted = if t.enabled then close_bracket t pid ~aborted
+
+let abort t ~pid =
+  if t.enabled then t.aborts.(pid) <- t.aborts.(pid) + 1
+
+let handoff t ~pid ~label =
+  if t.enabled then begin
+    t.handoffs.(pid) <- t.handoffs.(pid) + 1;
+    push_event t (Handoff { ts = t.clock; pid; label })
+  end
+
+let crash t ~pid =
+  if t.enabled then begin
+    close_bracket t pid ~aborted:true;
+    t.crashed <- pid :: t.crashed;
+    push_event t (Crash { ts = t.clock; pid })
+  end
+
+let note t text = if t.enabled then push_event t (Note { ts = t.clock; text })
+
+let n t = t.n
+let clock t = t.clock
+let steps_of t pid = t.steps.(pid)
+let rmws_of t pid = t.rmws.(pid)
+let cas_attempts_of t pid = t.cas.(pid)
+let aborts_of t pid = t.aborts.(pid)
+let total_aborts t = Array.fold_left ( + ) 0 t.aborts
+let handoffs_of t pid = t.handoffs.(pid)
+let total_handoffs t = Array.fold_left ( + ) 0 t.handoffs
+let crashes t = List.rev t.crashed
+
+let objects t =
+  Hashtbl.fold (fun _ (name, steps, rmws) acc -> (name, !steps, !rmws) :: acc) t.obj_tbl []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+
+let op_metrics t = Vec.to_list t.metrics
+let max_step_contention t = t.max_step_cont
+let max_interval_contention t = t.max_ivl_cont
+
+let events t =
+  List.init t.ring_len (fun i ->
+      let idx = (t.ring_head - t.ring_len + i + (2 * t.ring_capacity)) mod t.ring_capacity in
+      t.ring.(idx))
+
+let kind_to_string = function Read -> "read" | Write -> "write" | Rmw -> "rmw"
+
+let event_to_string = function
+  | Step { ts; pid; kind; obj_name; info; _ } ->
+      Printf.sprintf "%4d  p%d  %-5s %s%s" ts pid (kind_to_string kind) obj_name
+        (if info = "" then "" else " (" ^ info ^ ")")
+  | Op_begin { ts; pid; obj; label } ->
+      Printf.sprintf "%4d  p%d  begin %s#%d" ts pid label obj
+  | Op_end { ts; pid; obj; aborted } ->
+      Printf.sprintf "%4d  p%d  end   #%d%s" ts pid obj (if aborted then " ABORT" else "")
+  | Handoff { ts; pid; label } -> Printf.sprintf "%4d  p%d  handoff %s" ts pid label
+  | Crash { ts; pid } -> Printf.sprintf "%4d  p%d  CRASH" ts pid
+  | Note { ts; text } -> Printf.sprintf "%4d  --  %s" ts text

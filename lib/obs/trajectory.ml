@@ -1,0 +1,91 @@
+open Scs_util
+
+type record = {
+  workload : string;
+  n : int;
+  runs : int;
+  p50_steps : float;
+  p99_steps : float;
+  max_interval_contention : int;
+  schedules_per_sec : float;
+}
+
+type t = { run : string; seed : int; records : record list }
+
+let schema_version = "scs.bench.trajectory/1"
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("workload", Json.String r.workload);
+      ("n", Json.Int r.n);
+      ("runs", Json.Int r.runs);
+      ("p50_steps", Json.Float r.p50_steps);
+      ("p99_steps", Json.Float r.p99_steps);
+      ("max_interval_contention", Json.Int r.max_interval_contention);
+      ("schedules_per_sec", Json.Float r.schedules_per_sec);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema_version);
+      ("run", Json.String t.run);
+      ("seed", Json.Int t.seed);
+      ("records", Json.List (List.map record_to_json t.records));
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+
+let record_of_json j =
+  let* workload = field "workload" Json.to_stringv j in
+  let* n = field "n" Json.to_int j in
+  let* runs = field "runs" Json.to_int j in
+  let* p50_steps = field "p50_steps" Json.to_float j in
+  let* p99_steps = field "p99_steps" Json.to_float j in
+  let* max_interval_contention = field "max_interval_contention" Json.to_int j in
+  let* schedules_per_sec = field "schedules_per_sec" Json.to_float j in
+  Ok { workload; n; runs; p50_steps; p99_steps; max_interval_contention; schedules_per_sec }
+
+let of_json j =
+  let* schema = field "schema" Json.to_stringv j in
+  if schema <> schema_version then
+    Error (Printf.sprintf "schema mismatch: expected %S, got %S" schema_version schema)
+  else
+    let* run = field "run" Json.to_stringv j in
+    let* seed = field "seed" Json.to_int j in
+    let* records = field "records" Json.to_list j in
+    let* records =
+      List.fold_left
+        (fun acc r ->
+          let* acc = acc in
+          let* r = record_of_json r in
+          Ok (r :: acc))
+        (Ok []) records
+    in
+    Ok { run; seed; records = List.rev records }
+
+let validate s =
+  let* j = Json.of_string s in
+  of_json j
+
+let save path t =
+  let s = Json.to_string (to_json t) ^ "\n" in
+  (match validate s with
+  | Ok _ -> ()
+  | Error e -> failwith ("Trajectory.save: emitted invalid JSON: " ^ e));
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  validate s

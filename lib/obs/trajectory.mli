@@ -1,0 +1,57 @@
+(** The bench trajectory: the [BENCH_*.json] schema, its emitter, and
+    its validator.
+
+    Each PR commits a [BENCH_<pr>.json] at the repo root so later PRs
+    have a cost trajectory to compare against (see [docs/metrics.md]
+    for the schema contract and how each field is measured). The file
+    is a single JSON object:
+
+    {v
+    { "schema": "scs.bench.trajectory/1",
+      "run": "<identifier of the producing run>",
+      "seed": <int>,
+      "records": [
+        { "workload": "<name>", "n": <int>, "runs": <int>,
+          "p50_steps": <float>, "p99_steps": <float>,
+          "max_interval_contention": <int>,
+          "schedules_per_sec": <float> }, ... ] }
+    v}
+
+    [p50_steps]/[p99_steps] are percentiles of {e per-operation own
+    steps} ({!Obs.op_metric}[.om_steps]) across all bracketed
+    operations of all runs; [max_interval_contention] is the maximum
+    {!Obs.op_metric}[.om_interval_contention] observed; and
+    [schedules_per_sec] is completed runs divided by wall-clock time.
+    {!validate} is the schema check CI runs against freshly emitted
+    files. *)
+
+type record = {
+  workload : string;
+  n : int;
+  runs : int;
+  p50_steps : float;
+  p99_steps : float;
+  max_interval_contention : int;
+  schedules_per_sec : float;
+}
+
+type t = { run : string; seed : int; records : record list }
+
+val schema_version : string
+(** ["scs.bench.trajectory/1"]. *)
+
+val to_json : t -> Scs_util.Json.t
+val of_json : Scs_util.Json.t -> (t, string) result
+(** [of_json] {e is} the validator: it checks the [schema] tag and the
+    presence and type of every required field, returning a field-level
+    error message on the first mismatch. *)
+
+val validate : string -> (t, string) result
+(** Parse and validate a raw JSON string. *)
+
+val save : string -> t -> unit
+(** Write to a file, round-tripping through {!validate} first so an
+    emitter bug can never commit an invalid trajectory ([Failure] on
+    mismatch). *)
+
+val load : string -> (t, string) result

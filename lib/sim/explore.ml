@@ -18,6 +18,7 @@ exception Replay_drift = Policy.Replay_drift
    unbounded work without ever touching the budget). *)
 type ctx = {
   n : int;
+  obs : Scs_obs.Obs.t;
   setup : Sim.t -> unit;
   check : Sim.t -> Sim.pid list -> unit;
   por : bool;
@@ -33,9 +34,10 @@ type ctx = {
   mutable stop : bool;
 }
 
-let mk_ctx ~n ~setup ~check ~por ~max_depth ~max_schedules ~run_count =
+let mk_ctx ~n ~obs ~setup ~check ~por ~max_depth ~max_schedules ~run_count =
   {
     n;
+    obs;
     setup;
     check;
     por;
@@ -58,7 +60,7 @@ let budget_spent ctx =
   c >= ctx.max_schedules
 
 let fresh_sim ctx =
-  let sim = Sim.create ~n:ctx.n () in
+  let sim = Sim.create ~obs:ctx.obs ~n:ctx.n () in
   ctx.setup sim;
   ctx.base_objs <- Sim.objects_allocated sim;
   sim
@@ -218,10 +220,12 @@ let run_tasks ctx tasks =
 (* ------------------------------------------------------------------ *)
 
 let exhaustive ?(max_schedules = 200_000) ?(max_depth = 10_000) ?(por = false)
-    ?(domains = 1) ~n ~setup ~check () =
+    ?(domains = 1) ?(obs = Scs_obs.Obs.null) ~n ~setup ~check () =
+  if Scs_obs.Obs.enabled obs && domains > 1 then
+    invalid_arg "Explore.exhaustive: ~obs requires ~domains:1 (the sink is not domain-safe)";
   let t0 = Unix.gettimeofday () in
   let run_count = Atomic.make 0 in
-  let mk () = mk_ctx ~n ~setup ~check ~por ~max_depth ~max_schedules ~run_count in
+  let mk () = mk_ctx ~n ~obs ~setup ~check ~por ~max_depth ~max_schedules ~run_count in
   let ctxs, exns =
     if domains <= 1 then begin
       let ctx = mk () in

@@ -54,6 +54,7 @@ val exhaustive :
   ?max_depth:int ->
   ?por:bool ->
   ?domains:int ->
+  ?obs:Scs_obs.Obs.t ->
   n:int ->
   setup:(Sim.t -> unit) ->
   check:(Sim.t -> Sim.pid list -> unit) ->
@@ -66,7 +67,13 @@ val exhaustive :
     schedules and depth-truncated runs together — so exploration cost stays
     bounded even on spaces where most runs exceed [max_depth]. Defaults:
     [max_schedules = 200_000], [max_depth = 10_000], [por = false],
-    [domains = 1]. *)
+    [domains = 1].
+
+    [obs] (default {!Scs_obs.Obs.null}) is attached to every simulator
+    the engine creates, aggregating step counters across all explored
+    schedules (including backtrack replays). The sink is not
+    domain-safe: passing an enabled sink with [domains > 1] raises
+    [Invalid_argument]. *)
 
 val random_runs :
   ?runs:int ->

@@ -47,6 +47,10 @@ type policy_stats = {
   s_wall : float;
   s_first_failure : (int * float) option;
       (** run index and wall-clock seconds of the first violation *)
+  s_step_p50 : float;
+  s_step_p99 : float;  (** percentiles of per-run total memory steps *)
+  s_max_contention : int;
+      (** max schedule-level step contention across the batch's runs *)
 }
 
 type report = {
@@ -58,6 +62,34 @@ type report = {
 }
 
 let schedules_per_sec s = if s.s_wall > 0.0 then float_of_int s.s_runs /. s.s_wall else 0.0
+
+(* Schedule-level step-contention of one run: for each process, the
+   number of turns taken by *other* processes between its first and
+   last captured turns; the run's statistic is the max over processes.
+   Computed from the captured pid schedule alone, so it costs nothing
+   on the simulator's hot path. Each captured turn executes at most
+   one memory step, so this upper-bounds the step contention (paper
+   §2) any single operation in the run can experience. *)
+let schedule_contention ~n (buf : int Vec.t) =
+  let first = Array.make n (-1) in
+  let last = Array.make n (-1) in
+  let count = Array.make n 0 in
+  Vec.iteri
+    (fun i p ->
+      if p >= 0 && p < n then begin
+        if first.(p) < 0 then first.(p) <- i;
+        last.(p) <- i;
+        count.(p) <- count.(p) + 1
+      end)
+    buf;
+  let m = ref 0 in
+  for p = 0 to n - 1 do
+    if count.(p) > 0 then begin
+      let others = last.(p) - first.(p) + 1 - count.(p) in
+      if others > !m then m := others
+    end
+  done;
+  !m
 
 let base_policy kind rng n =
   match kind with
@@ -152,7 +184,7 @@ let verify_chunk ~domains (chunk : pending array) =
 
 let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
     ?(max_violations = max_int) ?(seed = 1) ?max_steps ?(max_crash_steps = 15)
-    ?(check_domains = 1) ~workload ~n ~instantiate () =
+    ?(check_domains = 1) ?(obs = Scs_obs.Obs.null) ~workload ~n ~instantiate () =
   let violations = ref [] in
   let stats =
     List.mapi
@@ -164,6 +196,8 @@ let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
         let sviol = ref 0 and nskip = ref 0 in
         let check_wall = ref 0.0 in
         let first = ref None in
+        let run_steps : float Vec.t = Vec.create () in
+        let max_cont = ref 0 in
         let large0 = Atomic.get large_counter in
         let chunk_size = if check_domains <= 1 then 1 else 16 * check_domains in
         let pending : pending Vec.t = Vec.create () in
@@ -203,7 +237,7 @@ let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
         while keep_going () do
           let run_seed = Rng.int prng 0x3FFFFFFF in
           let rng = Rng.create run_seed in
-          let sim = Sim.create ?max_steps ~n () in
+          let sim = Sim.create ?max_steps ~obs ~n () in
           let setup, check = instantiate () in
           setup sim;
           let crashes =
@@ -240,11 +274,18 @@ let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
                 }
                 :: !violations
           | Skip _ | Sim.Livelock _ -> incr nskip);
+          Vec.push run_steps (float_of_int (Sim.total_steps sim));
+          let c = schedule_contention ~n buf in
+          if c > !max_cont then max_cont := c;
           nturn := !nturn + Vec.length buf;
           incr nrun;
           if Vec.length pending >= chunk_size then flush ()
         done;
         flush ();
+        let steps_arr = Vec.to_array run_steps in
+        let pct p =
+          if Array.length steps_arr = 0 then 0.0 else Stats.percentile steps_arr p
+        in
         {
           s_policy = name;
           s_runs = !nrun;
@@ -255,6 +296,9 @@ let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
           s_check_wall = !check_wall;
           s_wall = now () -. t0;
           s_first_failure = !first;
+          s_step_p50 = pct 50.0;
+          s_step_p99 = pct 99.0;
+          s_max_contention = !max_cont;
         })
       policies
   in
@@ -370,13 +414,43 @@ end
 
 let render_lanes ?(title = "failing schedule") ~n ~schedule ~crashes () =
   let len = Array.length schedule in
+  (* Where a crash actually fired. [Policy.with_crashes (p, k)] retires
+     process [p] once it has executed [k] memory steps; a process's
+     first captured turn only advances it to its first operation (no
+     memory step), so [p] reaches [k] steps at its [(k+1)]-th captured
+     turn and the crash takes effect at the next scheduler decision.
+     Returns the cell index one past that turn, [Some len] if the run
+     ended exactly there, or [None] if the process never reached [k]
+     steps (the crash never fired). *)
+  let crash_point p =
+    match List.assoc_opt p crashes with
+    | None -> None
+    | Some k ->
+        let seen = ref 0 in
+        let idx = ref None in
+        Array.iteri
+          (fun i q ->
+            if q = p && !idx = None then begin
+              incr seen;
+              if !seen = k + 1 then idx := Some (i + 1)
+            end)
+          schedule;
+        !idx
+  in
   (* ASCII only: Table pads cells by byte length *)
-  let lane p = String.init len (fun i -> if schedule.(i) = p then '#' else '.') in
+  let lane p =
+    let base = String.init len (fun i -> if schedule.(i) = p then '#' else '.') in
+    match crash_point p with
+    | Some m when m < len -> String.mapi (fun i c -> if i = m then 'X' else c) base
+    | Some _ -> base ^ "X"  (* crash point at/after the end of the run *)
+    | None -> base
+  in
   let rows =
     List.init n (fun p ->
         let crash =
           match List.assoc_opt p crashes with
-          | Some k -> Printf.sprintf " crash@%d" k
+          | Some k when crash_point p <> None -> Printf.sprintf " crash@%d" k
+          | Some k -> Printf.sprintf " crash@%d (unfired)" k
           | None -> ""
         in
         [ Printf.sprintf "p%d%s" p crash; lane p ])

@@ -73,6 +73,17 @@ type policy_stats = {
   s_wall : float;
   s_first_failure : (int * float) option;
       (** run index and wall-clock seconds of the first violation *)
+  s_step_p50 : float;
+  s_step_p99 : float;
+      (** percentiles of per-run {e total memory steps} across the
+          policy's runs — the cost column of the fuzz report *)
+  s_max_contention : int;
+      (** maximum schedule-level step contention over the policy's
+          runs: per run, the max over processes of the number of turns
+          other processes take inside that process's active window
+          (first to last captured turn). An upper bound on the paper's
+          per-operation step contention, computed from the captured
+          schedule alone so the simulator hot path is untouched. *)
 }
 
 type report = {
@@ -96,6 +107,7 @@ val run :
   ?max_steps:int ->
   ?max_crash_steps:int ->
   ?check_domains:int ->
+  ?obs:Scs_obs.Obs.t ->
   workload:string ->
   n:int ->
   instantiate:(unit -> (Sim.t -> unit) * (Sim.t -> unit)) ->
@@ -123,7 +135,14 @@ val run :
     given [seed]; with more domains, verdicts and stats are unchanged but
     a policy may execute up to one chunk (16 × domains runs) beyond its
     [max_violations] stop, and [s_first_failure] timing reflects chunked
-    verification. *)
+    verification.
+
+    [obs] (default {!Scs_obs.Obs.null}) is attached to every run's
+    simulator, aggregating counters across the whole campaign; it
+    never changes verdicts (executions are driven by the captured
+    policies alone — asserted by the fuzz test suite). The engine's
+    own cost columns ([s_step_p50]/[s_step_p99]/[s_max_contention])
+    are computed without the sink and are always present. *)
 
 val replay :
   ?max_steps:int ->
@@ -181,5 +200,10 @@ val render_lanes :
   crashes:(Sim.pid * int) list ->
   unit ->
   string
-(** Per-process lane view of a schedule: one row per pid, [●] on its
-    turns, [·] elsewhere, crash steps annotated, plus a turn ruler. *)
+(** Per-process lane view of a schedule: one row per pid, [#] on its
+    turns, [.] elsewhere, plus a turn ruler. Crash markers are
+    rendered in-lane: an [X] at the point where the crash policy
+    retired the process (one cell past its last executed turn — see
+    {!Policy.with_crashes} step accounting), and the row label carries
+    [crash\@k], flagged [(unfired)] when the process finished before
+    reaching [k] steps so the injected crash never took effect. *)

@@ -1,12 +1,33 @@
-(** Low-level memory trace events: one per executed shared-memory step. *)
+(** Low-level memory trace events: one per executed shared-memory step.
+
+    This is the repo's representation of the paper's step-complexity
+    currency (§2): every base-object access a process performs — read,
+    write, or atomic read-modify-write — appears as exactly one event,
+    so counting events {e is} counting steps. Two consumers build on
+    this stream:
+
+    - {!Detect} scans a completed trace post hoc to classify operation
+      intervals by contention (the reference implementation of the
+      estimators);
+    - {!Scs_obs.Obs} receives the same information online, one hook call
+      per step, and aggregates it without retaining the stream.
+
+    Recording the full stream is O(run length) memory, so {!Sim} only
+    keeps it when asked ([trace] in the simulator API); the obs sink is
+    the bounded-memory alternative. *)
 
 type t = {
-  ts : int;  (** global logical time: value of the step counter after the step *)
-  pid : int;
-  kind : Op.kind;
-  obj : int;
-  obj_name : string;
-  info : string;
+  ts : int;  (** global logical time: value of the step counter after the step.
+                 Intervals in {!Detect} use the convention
+                 [start < ts <= end], i.e. [ts] at invocation excludes
+                 steps already counted. *)
+  pid : int;  (** the process that took the step *)
+  kind : Op.kind;  (** read, write, or RMW (the paper charges all three one step) *)
+  obj : int;  (** dense object id, unique per base object *)
+  obj_name : string;  (** human-readable name, e.g. ["bakery.A[3]"] *)
+  info : string;  (** operation detail, e.g. ["cas 0->1"]; drives the
+                      CAS-attempt counter of {!Scs_obs.Obs} *)
 }
 
 val to_string : t -> string
+(** One-line rendering, e.g. ["[ 12] p1 rmw bakery.Dec cas 0->1"]. *)

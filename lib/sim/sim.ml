@@ -28,11 +28,15 @@ type t = {
   mutable record_trace : bool;
   trace : Mem_event.t Vec.t;
   pause_obj : int;
+  obs : Scs_obs.Obs.t;
+  obs_on : bool;  (** cached [Obs.enabled obs]: one load on the hot path *)
 }
 
 type _ Effect.t += Mem : 'r Op.t -> 'r Effect.t
 
-let create ?(max_steps = 1_000_000) ~n () =
+let create ?(max_steps = 1_000_000) ?(obs = Scs_obs.Obs.null) ~n () =
+  if Scs_obs.Obs.enabled obs && Scs_obs.Obs.n obs < n then
+    invalid_arg "Sim.create: obs sink sized for fewer processes than n";
   {
     n;
     max_steps;
@@ -47,6 +51,8 @@ let create ?(max_steps = 1_000_000) ~n () =
     record_trace = false;
     trace = Vec.create ();
     pause_obj = 0;
+    obs;
+    obs_on = Scs_obs.Obs.enabled obs;
   }
 
 let n t = t.n
@@ -266,7 +272,15 @@ let account t pid (kind : Op.kind) =
       t.rmws.(pid) <- t.rmws.(pid) + 1;
       t.dirty_write.(pid) <- false
 
+let obs_kind : Op.kind -> Scs_obs.Obs.kind = function
+  | Op.Read -> Scs_obs.Obs.Read
+  | Op.Write -> Scs_obs.Obs.Write
+  | Op.Rmw -> Scs_obs.Obs.Rmw
+
 let record t pid (op : _ Op.t) =
+  if t.obs_on then
+    Scs_obs.Obs.step t.obs ~pid ~kind:(obs_kind op.Op.kind) ~obj:op.Op.obj
+      ~obj_name:op.Op.obj_name ~info:op.Op.info;
   if t.record_trace then
     Vec.push t.trace
       {
@@ -299,7 +313,8 @@ let crash t pid =
   | Ready _ | Blocked _ ->
       (* The pending continuation is abandoned: the process takes no more
          steps, exactly as a crash failure in the model. *)
-      t.status.(pid) <- Crashed
+      t.status.(pid) <- Crashed;
+      if t.obs_on then Scs_obs.Obs.crash t.obs ~pid
 
 type decision = Sched of pid | Stop
 
@@ -336,6 +351,7 @@ let reset_counters t =
   Array.fill t.raw_fences 0 t.n 0;
   Array.fill t.dirty_write 0 t.n false
 
+let obs t = t.obs
 let set_trace t b = t.record_trace <- b
 let trace t = Vec.to_list t.trace
 let trace_arr t = Vec.to_array t.trace

@@ -23,10 +23,14 @@ exception Livelock of string
 exception Process_failure of pid * exn
 (** An exception escaped a process fiber. *)
 
-val create : ?max_steps:int -> n:int -> unit -> t
+val create : ?max_steps:int -> ?obs:Scs_obs.Obs.t -> n:int -> unit -> t
 (** [create ~n ()] builds a simulator for processes [0 .. n-1].
     [max_steps] (default 1_000_000) bounds total memory steps to catch
-    livelocks under adversarial schedules. *)
+    livelocks under adversarial schedules. [obs] (default
+    {!Scs_obs.Obs.null}) is an observability sink: every executed
+    memory step and every injected crash is reported to it, so its
+    step clock coincides with {!clock}. A disabled sink costs one
+    cached boolean test per step — tracing stays off the hot path. *)
 
 val n : t -> int
 val clock : t -> int
@@ -147,6 +151,10 @@ val reset_counters : t -> unit
     object. *)
 
 (** {1 Tracing} *)
+
+val obs : t -> Scs_obs.Obs.t
+(** The observability sink passed at {!create} ({!Scs_obs.Obs.null} if
+    none was). *)
 
 val set_trace : t -> bool -> unit
 val trace : t -> Mem_event.t list

@@ -1,0 +1,39 @@
+(** Minimal JSON values: just enough to emit and re-read the bench
+    trajectory files ([BENCH_*.json], see [docs/metrics.md]) without
+    adding a dependency. Supports the JSON subset those files use —
+    objects, arrays, strings, floats/ints, booleans, null — with string
+    escaping on output and a recursive-descent parser on input. Not a
+    general-purpose JSON library: no unicode escapes beyond [\uXXXX]
+    pass-through on parse, no streaming. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Render a value. [indent] (default [true]) pretty-prints with
+    two-space indentation — the format committed in [BENCH_*.json]. *)
+
+val of_string : string -> (t, string) result
+(** Parse. Numbers without [.], [e] or [E] become [Int]; everything
+    else numeric becomes [Float]. Errors carry a character offset. *)
+
+(** {2 Accessors}
+
+    All return [None] on shape mismatch rather than raising, so schema
+    validation code reads as a pipeline of option binds. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to key [k], if any. *)
+
+val to_list : t -> t list option
+val to_stringv : t -> string option
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** Accepts both [Int] and [Float] (JSON does not distinguish). *)

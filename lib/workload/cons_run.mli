@@ -29,12 +29,17 @@ type result = {
 
 val run :
   ?seed:int ->
+  ?obs:Scs_obs.Obs.t ->
   n:int ->
   algo:algo ->
   policy:(Scs_util.Rng.t -> Policy.t) ->
   unit ->
   result
-(** Process [i] proposes [100 + i]. *)
+(** Process [i] proposes [100 + i]. [obs] (default disabled) gets one
+    operation bracket per propose (all against object 0, the consensus
+    instance), an abort count per [Abort] outcome and a handoff per
+    adopted switch value — the inputs to the abort-rate-vs-contention
+    analysis of experiment T13. *)
 
 val solo_steps : algo -> n:int -> int
 (** Steps taken by process 0 deciding alone — the solo/uncontended step

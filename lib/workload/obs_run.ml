@@ -1,0 +1,152 @@
+open Scs_util
+open Scs_sim
+open Scs_composable
+open Scs_obs
+
+type target = A1 | Tas of Tas_run.algo | Cons of Cons_run.algo
+
+let target_name = function
+  | A1 -> "a1"
+  | Tas a -> Tas_run.algo_name a
+  | Cons a -> Cons_run.algo_name a
+
+let all_targets =
+  [
+    A1;
+    Tas Tas_run.Composed;
+    Tas Tas_run.Strict;
+    Tas Tas_run.Solo_fast;
+    Tas Tas_run.Hardware;
+    Tas Tas_run.Tournament;
+    Cons Cons_run.Split;
+    Cons Cons_run.Bakery;
+    Cons Cons_run.Cas;
+    Cons Cons_run.Chain3;
+  ]
+
+let target_of_string s = List.find_opt (fun t -> target_name t = s) all_targets
+let target_names () = List.map target_name all_targets
+
+type agg = {
+  workload : string;
+  n : int;
+  runs : int;
+  ops : Obs.op_metric list;
+  steps : Stats.summary;
+  step_cont : Stats.summary;
+  max_interval_contention : int;
+  aborts : int;
+  handoffs : int;
+  crashes : int;
+  schedules_per_sec : float;
+  objects : (string * int * int) list;
+}
+
+(* Bare A1: each process performs one [apply] inside an obs bracket.
+   Mirrors exp_t1's abort census but measured by the sink instead of a
+   post-hoc trace scan. *)
+let run_a1 ?(crashes = []) ~obs ~n ~policy rng =
+  let sim = Sim.create ~obs ~n () in
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module M = Scs_tas.A1.Make (P) in
+  let a1 = M.create ~name:"a1" () in
+  for pid = 0 to n - 1 do
+    Sim.spawn sim pid (fun () ->
+        Obs.op_begin obs ~pid ~obj:0 ~label:"a1";
+        let outcome = M.apply a1 ~pid None in
+        let aborted = match outcome with Outcome.Abort _ -> true | _ -> false in
+        if aborted then Obs.abort obs ~pid;
+        Obs.op_end obs ~pid ~aborted)
+  done;
+  let p = policy rng in
+  let p = if crashes = [] then p else Policy.with_crashes crashes p in
+  Sim.run sim p
+
+let gen_crashes rng ~n ~crash_prob =
+  List.filter_map
+    (fun p ->
+      if crash_prob > 0.0 && Rng.bernoulli rng crash_prob then
+        Some (p, 1 + Rng.int rng 15)
+      else None)
+    (List.init n (fun p -> p))
+
+let aggregate ~workload ~n ~runs ~wall (obs : Obs.t) =
+  let ops = Obs.op_metrics obs in
+  if ops = [] then invalid_arg "Obs_run.measure: batch completed zero operations";
+  let steps =
+    Stats.summarize_ints (Array.of_list (List.map (fun m -> m.Obs.om_steps) ops))
+  in
+  let step_cont =
+    Stats.summarize_ints
+      (Array.of_list (List.map (fun m -> m.Obs.om_step_contention) ops))
+  in
+  {
+    workload;
+    n;
+    runs;
+    ops;
+    steps;
+    step_cont;
+    max_interval_contention = Obs.max_interval_contention obs;
+    aborts = Obs.total_aborts obs;
+    handoffs = Obs.total_handoffs obs;
+    crashes = List.length (Obs.crashes obs);
+    schedules_per_sec = (if wall > 0.0 then float_of_int runs /. wall else 0.0);
+    objects = Obs.objects obs;
+  }
+
+let one_run ?(crashes = []) ~obs ~target ~n ~policy rng =
+  match target with
+  | A1 -> run_a1 ~crashes ~obs ~n ~policy rng
+  | Tas algo ->
+      let seed = Rng.int rng 0x3FFFFFFF in
+      ignore
+        (Tas_run.one_shot ~seed ~trace_mem:false ~crashes ~obs ~n ~algo
+           ~policy ())
+  | Cons algo ->
+      let seed = Rng.int rng 0x3FFFFFFF in
+      ignore (Cons_run.run ~seed ~obs ~n ~algo ~policy ())
+
+let measure ?(runs = 200) ?(seed = 42) ?(policy = Policy.random)
+    ?(crash_prob = 0.0) target ~n =
+  let prng = Rng.create seed in
+  let obs = Obs.create ~n () in
+  let t0 = Unix.gettimeofday () in
+  let completed = ref 0 in
+  for _ = 1 to runs do
+    let rng = Rng.split prng in
+    let crashes = gen_crashes rng ~n ~crash_prob in
+    (try one_run ~crashes ~obs ~target ~n ~policy rng
+     with Sim.Livelock _ -> ());
+    incr completed
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  aggregate ~workload:(target_name target) ~n ~runs:!completed ~wall obs
+
+let solo target ~n =
+  let obs = Obs.create ~n () in
+  let t0 = Unix.gettimeofday () in
+  one_run ~obs ~target ~n ~policy:(fun _ -> Policy.solo 0) (Rng.create 1);
+  let wall = Unix.gettimeofday () -. t0 in
+  let agg = aggregate ~workload:(target_name target) ~n ~runs:1 ~wall obs in
+  (* keep only p0's first operation: the uncontended-cost sample *)
+  match List.find_opt (fun m -> m.Obs.om_pid = 0) agg.ops with
+  | None -> agg
+  | Some m ->
+      {
+        agg with
+        ops = [ m ];
+        steps = Stats.summarize_ints [| m.Obs.om_steps |];
+        step_cont = Stats.summarize_ints [| m.Obs.om_step_contention |];
+      }
+
+let to_record (a : agg) =
+  {
+    Trajectory.workload = a.workload;
+    n = a.n;
+    runs = a.runs;
+    p50_steps = a.steps.Stats.median;
+    p99_steps = a.steps.Stats.p99;
+    max_interval_contention = a.max_interval_contention;
+    schedules_per_sec = a.schedules_per_sec;
+  }

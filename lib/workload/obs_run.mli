@@ -1,0 +1,65 @@
+(** Observability-instrumented measurement runs: the engine behind
+    [scs stats], [bench/emit_json.ml] ([BENCH_*.json]) and experiment
+    T13.
+
+    A {e target} is a workload whose every high-level operation is
+    bracketed on a {!Scs_obs.Obs} sink ({!Tas_run} / {!Cons_run} with
+    [~obs], or the bare-A1 driver defined here), so a batch of seeded
+    runs yields per-operation step counts and contention measurements
+    matching the paper's definitions — plus a schedules/sec throughput
+    figure for the bench trajectory. See [docs/metrics.md] for how
+    each aggregate maps to the JSON schema. *)
+
+open Scs_sim
+
+type target =
+  | A1  (** bare A1: one [apply] per process (Theorem 3's O(1) object) *)
+  | Tas of Tas_run.algo
+  | Cons of Cons_run.algo
+
+val target_name : target -> string
+val target_of_string : string -> target option
+val target_names : unit -> string list
+
+(** Aggregate of one measurement batch. *)
+type agg = {
+  workload : string;
+  n : int;
+  runs : int;  (** completed simulations *)
+  ops : Scs_obs.Obs.op_metric list;  (** every bracketed operation, all runs *)
+  steps : Scs_util.Stats.summary;  (** per-operation own steps *)
+  step_cont : Scs_util.Stats.summary;  (** per-operation step contention *)
+  max_interval_contention : int;
+  aborts : int;
+  handoffs : int;
+  crashes : int;
+  schedules_per_sec : float;  (** runs / wall-clock, instrumentation included *)
+  objects : (string * int * int) list;
+      (** per-object step census, [(name, steps, rmws)], busiest first *)
+}
+
+val measure :
+  ?runs:int ->
+  ?seed:int ->
+  ?policy:(Scs_util.Rng.t -> Policy.t) ->
+  ?crash_prob:float ->
+  target ->
+  n:int ->
+  agg
+(** [measure target ~n] executes [runs] (default 200) seeded
+    simulations of the target with a fresh obs sink per batch and
+    aggregates. [policy] defaults to {!Policy.random} per run (seeded
+    from [seed], default 42); [crash_prob] (default 0) independently
+    crashes each pid with that probability after 1–15 steps, as the
+    fuzzer's crash portfolio does. Raises [Invalid_argument] if the
+    batch completes zero operations. *)
+
+val solo : target -> n:int -> agg
+(** One run in which process 0 executes alone ({!Policy.solo}): the
+    uncontended cost the appendix complexity claims are stated for.
+    The returned [steps] summary has [n = 1] sample (p0's single
+    operation, or its first for chain targets). *)
+
+val to_record : agg -> Scs_obs.Trajectory.record
+(** Project onto the [BENCH_*.json] record shape: p50/p99 of
+    per-operation steps, max interval contention, schedules/sec. *)

@@ -62,14 +62,20 @@ let make_recorder sim =
   }
 
 (* Record one operation: [f req] performs the algorithm and returns
-   (resp, stage, round); trace events are emitted by [f] itself. *)
+   (resp, stage, round); trace events are emitted by [f] itself. The
+   simulator's observability sink (a no-op unless the caller passed
+   [~obs]) gets a begin/end bracket per operation, which is what feeds
+   the per-operation step and contention estimators. *)
 let record_op sim recorder ~pid f =
   let req = Request.Gen.fresh recorder.gen Objects.Test_and_set in
+  let obs = Sim.obs sim in
   let s0 = Sim.steps_of sim pid in
   let r0 = Sim.rmws_of sim pid in
   let f0 = Sim.raw_fences_of sim pid in
   let t0 = Sim.clock sim in
+  Scs_obs.Obs.op_begin obs ~pid ~obj:0 ~label:"tas";
   let resp, stage, round = f req in
+  Scs_obs.Obs.op_end obs ~pid ~aborted:false;
   Hashtbl.replace recorder.round_of_req (Request.id req) round;
   let op =
     {
@@ -112,10 +118,11 @@ let run_policy ?(crashes = []) sim policy rng =
   Sim.run sim p;
   Vec.to_array buf
 
-let one_shot ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ~n ~algo ~policy () =
+let one_shot ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ?obs ~n ~algo ~policy () =
   let rng = Rng.create seed in
-  let sim = Sim.create ~n () in
+  let sim = Sim.create ?obs ~n () in
   Sim.set_trace sim trace_mem;
+  let obs = Sim.obs sim in
   let module P = (val Scs_prims.Sim_prims.make sim) in
   let recorder = make_recorder sim in
   let tr = recorder in
@@ -135,6 +142,8 @@ let one_shot ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ~n ~algo ~policy (
               (r, Some Scs_tas.One_shot.Fast)
           | Outcome.Abort v -> (
               Trace.abort tr.rec_a1 ~pid req v;
+              Scs_obs.Obs.abort obs ~pid;
+              Scs_obs.Obs.handoff obs ~pid ~label:"a1->a2";
               Trace.init tr.rec_a2 ~pid req v;
               match OS.A2m.apply (OS.a2 os) ~pid (Some v) with
               | Outcome.Commit r ->
@@ -155,6 +164,8 @@ let one_shot ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ~n ~algo ~policy (
               (r, Some Scs_tas.One_shot.Fast)
           | Outcome.Abort v -> (
               Trace.abort tr.rec_a1 ~pid req v;
+              Scs_obs.Obs.abort obs ~pid;
+              Scs_obs.Obs.handoff obs ~pid ~label:"sf->fallback";
               Trace.init tr.rec_a2 ~pid req v;
               match SF.apply_fallback sf ~pid (Some v) with
               | Outcome.Commit r ->
@@ -190,10 +201,10 @@ let one_shot ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ~n ~algo ~policy (
   let schedule = run_policy ~crashes sim policy (Rng.split rng) in
   finish sim recorder ~schedule
 
-let long_lived ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ?(strict = false) ~n
+let long_lived ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ?(strict = false) ?obs ~n
     ~ops_per_proc ~policy () =
   let rng = Rng.create seed in
-  let sim = Sim.create ~max_steps:10_000_000 ~n () in
+  let sim = Sim.create ~max_steps:10_000_000 ?obs ~n () in
   Sim.set_trace sim trace_mem;
   let module P = (val Scs_prims.Sim_prims.make sim) in
   let module LL = Scs_tas.Long_lived.Make (P) in
@@ -207,6 +218,12 @@ let long_lived ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ?(strict = false
             record_op sim recorder ~pid (fun req ->
                 Trace.invoke recorder.rec_outer ~pid req;
                 let resp, stage, round = LL.test_and_set_info h in
+                (* A Fallback response means the speculative A1 aborted
+                   and its switch value crossed into A2 this round. *)
+                if stage = Scs_tas.One_shot.Fallback then begin
+                  Scs_obs.Obs.abort (Sim.obs sim) ~pid;
+                  Scs_obs.Obs.handoff (Sim.obs sim) ~pid ~label:"a1->a2"
+                end;
                 Trace.commit recorder.rec_outer ~pid req resp;
                 (resp, Some stage, round))
           in

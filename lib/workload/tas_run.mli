@@ -52,6 +52,7 @@ val one_shot :
   ?seed:int ->
   ?trace_mem:bool ->
   ?crashes:(int * int) list ->
+  ?obs:Scs_obs.Obs.t ->
   n:int ->
   algo:algo ->
   policy:(Scs_util.Rng.t -> Policy.t) ->
@@ -59,13 +60,16 @@ val one_shot :
   result
 (** Every process performs exactly one test-and-set. [policy] receives a
     deterministic sub-stream of [seed]. [crashes] are [(pid, after_steps)]
-    pairs. *)
+    pairs. [obs] (default disabled) receives an operation bracket per
+    test-and-set plus an abort + switch-value handoff whenever A1 aborts
+    into A2, so per-operation steps and contention can be measured. *)
 
 val long_lived :
   ?seed:int ->
   ?trace_mem:bool ->
   ?crashes:(int * int) list ->
   ?strict:bool ->
+  ?obs:Scs_obs.Obs.t ->
   n:int ->
   ops_per_proc:int ->
   policy:(Scs_util.Rng.t -> Policy.t) ->

@@ -22,4 +22,5 @@ let () =
       ("futures", Test_futures.tests);
       ("crashes", Test_crashes.tests);
       ("composition", Test_composition.tests);
+      ("obs", Test_obs.tests);
     ]

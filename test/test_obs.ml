@@ -1,0 +1,318 @@
+(* Observability sink (lib/obs): known-answer contention traces,
+   counter bookkeeping, ring-buffer bounds, trajectory JSON round-trips,
+   and the no-interference contract (attaching a sink never changes any
+   verdict). The contention known-answers are hand-computed from the
+   definitions in paper §2 / Appendix A; the simulator-driven cases are
+   cross-checked against Scs_sim.Detect, the post-hoc reference
+   implementation. *)
+
+open Scs_util
+open Scs_sim
+open Scs_workload
+open Scs_obs
+
+let step obs ~pid ?(obj = 0) ?(name = "r") () =
+  Obs.step obs ~pid ~kind:Obs.Read ~obj ~obj_name:name ~info:""
+
+(* p0 brackets an op; p1 takes 3 steps inside it but never opens a
+   bracket of its own: step contention 3, interval contention 0. *)
+let test_known_answer_step_contention () =
+  let obs = Obs.create ~n:3 () in
+  Obs.op_begin obs ~pid:0 ~obj:0 ~label:"op";
+  step obs ~pid:0 ();
+  step obs ~pid:1 ();
+  step obs ~pid:1 ();
+  step obs ~pid:0 ();
+  step obs ~pid:1 ();
+  Obs.op_end obs ~pid:0 ~aborted:false;
+  match Obs.op_metrics obs with
+  | [ m ] ->
+      Alcotest.(check int) "own steps" 2 m.Obs.om_steps;
+      Alcotest.(check int) "step contention" 3 m.Obs.om_step_contention;
+      Alcotest.(check int) "interval contention" 0 m.Obs.om_interval_contention;
+      Alcotest.(check bool) "not aborted" false m.Obs.om_aborted;
+      Alcotest.(check int) "interval" 5 (m.Obs.om_finish - m.Obs.om_start)
+  | ms -> Alcotest.failf "expected 1 op metric, got %d" (List.length ms)
+
+(* Overlap diagram (time left to right, brackets are op intervals):
+     p0:  [===============]
+     p1:    [====]
+     p2:            [========]
+   p0 overlaps both p1 and p2 (interval contention 2); p1 and p2 never
+   coexist (1 each). Step contention stays 0: nobody takes steps. *)
+let test_known_answer_interval_contention () =
+  let obs = Obs.create ~n:3 () in
+  Obs.op_begin obs ~pid:0 ~obj:0 ~label:"p0";
+  Obs.op_begin obs ~pid:1 ~obj:0 ~label:"p1";
+  Obs.op_end obs ~pid:1 ~aborted:false;
+  Obs.op_begin obs ~pid:2 ~obj:0 ~label:"p2";
+  Obs.op_end obs ~pid:2 ~aborted:true;
+  Obs.op_end obs ~pid:0 ~aborted:false;
+  let find pid =
+    List.find (fun m -> m.Obs.om_pid = pid) (Obs.op_metrics obs)
+  in
+  Alcotest.(check int) "p0 ivl" 2 (find 0).Obs.om_interval_contention;
+  Alcotest.(check int) "p1 ivl" 1 (find 1).Obs.om_interval_contention;
+  Alcotest.(check int) "p2 ivl" 1 (find 2).Obs.om_interval_contention;
+  Alcotest.(check int) "p0 stepC" 0 (find 0).Obs.om_step_contention;
+  Alcotest.(check bool) "p2 aborted" true (find 2).Obs.om_aborted;
+  Alcotest.(check int) "max ivl" 2 (Obs.max_interval_contention obs);
+  Alcotest.(check int) "max stepC" 0 (Obs.max_step_contention obs)
+
+(* Back-to-back brackets of the same process never overlap themselves,
+   and a second op_begin implicitly closes the first as non-aborted. *)
+let test_implicit_close () =
+  let obs = Obs.create ~n:2 () in
+  Obs.op_begin obs ~pid:0 ~obj:0 ~label:"first";
+  step obs ~pid:0 ();
+  Obs.op_begin obs ~pid:0 ~obj:1 ~label:"second";
+  Obs.op_end obs ~pid:0 ~aborted:false;
+  let ms = Obs.op_metrics obs in
+  Alcotest.(check int) "two metrics" 2 (List.length ms);
+  let first = List.find (fun m -> m.Obs.om_label = "first") ms in
+  Alcotest.(check bool) "closed clean" false first.Obs.om_aborted;
+  Alcotest.(check int) "first's steps" 1 first.Obs.om_steps;
+  (* op_end without a bracket is a no-op, not an error *)
+  Obs.op_end obs ~pid:1 ~aborted:false;
+  Alcotest.(check int) "still two" 2 (List.length (Obs.op_metrics obs))
+
+let test_counters_and_objects () =
+  let obs = Obs.create ~n:2 () in
+  Obs.step obs ~pid:0 ~kind:Obs.Rmw ~obj:1 ~obj_name:"l.cas" ~info:"cas 0->1";
+  Obs.step obs ~pid:0 ~kind:Obs.Rmw ~obj:1 ~obj_name:"l.cas" ~info:"cas 0->1";
+  Obs.step obs ~pid:1 ~kind:Obs.Rmw ~obj:2 ~obj_name:"l.swap" ~info:"swap";
+  Obs.step obs ~pid:1 ~kind:Obs.Write ~obj:3 ~obj_name:"r" ~info:"";
+  Alcotest.(check int) "total" 4 (Obs.total_steps obs);
+  Alcotest.(check int) "clock" 4 (Obs.clock obs);
+  Alcotest.(check int) "p0 steps" 2 (Obs.steps_of obs 0);
+  Alcotest.(check int) "p0 rmw" 2 (Obs.rmws_of obs 0);
+  Alcotest.(check int) "p0 cas" 2 (Obs.cas_attempts_of obs 0);
+  Alcotest.(check int) "p1 rmw" 1 (Obs.rmws_of obs 1);
+  Alcotest.(check int) "p1 cas (swap is not cas)" 0 (Obs.cas_attempts_of obs 1);
+  Obs.abort obs ~pid:1;
+  Obs.handoff obs ~pid:1 ~label:"a1->a2";
+  Obs.crash obs ~pid:0;
+  Alcotest.(check int) "aborts" 1 (Obs.total_aborts obs);
+  Alcotest.(check int) "handoffs" 1 (Obs.handoffs_of obs 1);
+  Alcotest.(check (list int)) "crashes" [ 0 ] (Obs.crashes obs);
+  match Obs.objects obs with
+  | (top, steps, rmws) :: _ ->
+      Alcotest.(check string) "busiest object" "l.cas" top;
+      Alcotest.(check int) "its steps" 2 steps;
+      Alcotest.(check int) "its rmws" 2 rmws
+  | [] -> Alcotest.fail "object census empty"
+
+let test_crash_closes_bracket_aborted () =
+  let obs = Obs.create ~n:2 () in
+  Obs.op_begin obs ~pid:0 ~obj:0 ~label:"doomed";
+  step obs ~pid:0 ();
+  Obs.crash obs ~pid:0;
+  match Obs.op_metrics obs with
+  | [ m ] -> Alcotest.(check bool) "aborted by crash" true m.Obs.om_aborted
+  | ms -> Alcotest.failf "expected 1 metric, got %d" (List.length ms)
+
+let test_ring_eviction () =
+  let obs = Obs.create ~ring_capacity:4 ~n:1 () in
+  for i = 1 to 10 do
+    Obs.step obs ~pid:0 ~kind:Obs.Read ~obj:0 ~obj_name:"r" ~info:(string_of_int i)
+  done;
+  let evs = Obs.events obs in
+  Alcotest.(check int) "bounded" 4 (List.length evs);
+  (* oldest first, and the oldest survivor is step 7 of 10 *)
+  (match evs with
+  | Obs.Step { info; _ } :: _ -> Alcotest.(check string) "oldest" "7" info
+  | _ -> Alcotest.fail "expected Step events");
+  Alcotest.(check int) "counters unaffected by eviction" 10 (Obs.total_steps obs)
+
+let test_null_sink () =
+  let obs = Obs.null in
+  Alcotest.(check bool) "disabled" false (Obs.enabled obs);
+  step obs ~pid:0 ();
+  Obs.op_begin obs ~pid:0 ~obj:0 ~label:"x";
+  Obs.op_end obs ~pid:0 ~aborted:true;
+  Obs.abort obs ~pid:0;
+  Obs.crash obs ~pid:0;
+  Alcotest.(check int) "no steps" 0 (Obs.total_steps obs);
+  Alcotest.(check int) "no metrics" 0 (List.length (Obs.op_metrics obs));
+  Alcotest.(check int) "no events" 0 (List.length (Obs.events obs))
+
+(* A solo run measures zero for both estimators — the premise of every
+   "solo cost" claim in the paper. *)
+let test_solo_zero_contention () =
+  let a = Obs_run.solo (Obs_run.Cons Cons_run.Bakery) ~n:4 in
+  Alcotest.(check int) "solo ivl contention" 0 a.Obs_run.max_interval_contention;
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "solo stepC" 0 m.Obs.om_step_contention;
+      Alcotest.(check bool) "solo commits" false m.Obs.om_aborted)
+    a.Obs_run.ops
+
+(* Cross-check the online estimator against Scs_sim.Detect, the post-hoc
+   reference scan over the low-level memory trace. The sink's clock
+   coincides with Sim.clock when attached at creation, so each
+   op_metric's [om_start, om_finish] is directly a Detect.interval. *)
+let test_cross_check_detect () =
+  List.iter
+    (fun seed ->
+      let obs = Obs.create ~n:4 () in
+      let r =
+        Tas_run.one_shot ~seed ~trace_mem:true ~obs ~n:4 ~algo:Tas_run.Composed
+          ~policy:(fun rng -> Policy.random rng)
+          ()
+      in
+      let mem = r.Tas_run.mem in
+      List.iter
+        (fun m ->
+          let iv =
+            {
+              Detect.pid = m.Obs.om_pid;
+              start_ts = m.Obs.om_start;
+              end_ts = m.Obs.om_finish;
+            }
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d p%d own steps" seed m.Obs.om_pid)
+            (Detect.steps_within mem iv) m.Obs.om_steps;
+          let ref_contention =
+            Array.fold_left
+              (fun acc (e : Mem_event.t) ->
+                if e.pid <> iv.Detect.pid && e.ts > iv.Detect.start_ts
+                   && e.ts <= iv.Detect.end_ts
+                then acc + 1
+                else acc)
+              0 mem
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d p%d step contention" seed m.Obs.om_pid)
+            ref_contention m.Obs.om_step_contention;
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d p%d contended flag agrees" seed m.Obs.om_pid)
+            (Detect.step_contended mem iv)
+            (m.Obs.om_step_contention > 0))
+        (Obs.op_metrics obs))
+    [ 1; 7; 42; 1234 ]
+
+(* Attaching a sink must never change what the fuzzer concludes: same
+   seeds, same policies, obs on vs off, identical verdict counts and
+   identical violation schedules. *)
+let test_obs_never_changes_verdicts () =
+  let run ~obs =
+    Fuzz_run.fuzz ?obs ~runs:40 ~seed:9 ~check_domains:1
+      (Option.get (Fuzz_run.find "tas-composed"))
+      ~n:3
+  in
+  let off = run ~obs:None in
+  let on = run ~obs:(Some (Obs.create ~n:3 ())) in
+  let digest (r : Fuzz.report) =
+    List.map
+      (fun (s : Fuzz.policy_stats) ->
+        ((s.Fuzz.s_policy, s.Fuzz.s_runs), (s.Fuzz.s_violations, s.Fuzz.s_skipped)))
+      r.Fuzz.r_stats
+  in
+  Alcotest.(check (list (pair (pair string int) (pair int int))))
+    "per-policy verdicts identical" (digest off) (digest on);
+  Alcotest.(check int) "violation lists identical"
+    (List.length off.Fuzz.r_violations)
+    (List.length on.Fuzz.r_violations)
+
+(* Trajectory schema: value round-trip, file round-trip, and the
+   validator rejecting what it must reject. *)
+let test_trajectory_roundtrip () =
+  let t =
+    {
+      Trajectory.run = "test";
+      seed = 7;
+      records =
+        [
+          {
+            Trajectory.workload = "a1";
+            n = 4;
+            runs = 10;
+            p50_steps = 3.0;
+            p99_steps = 9.5;
+            max_interval_contention = 2;
+            schedules_per_sec = 123.4;
+          };
+        ];
+    }
+  in
+  (match Trajectory.of_json (Trajectory.to_json t) with
+  | Ok t' -> Alcotest.(check bool) "value round-trip" true (t = t')
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  let file = Filename.temp_file "traj" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Trajectory.save file t;
+      match Trajectory.load file with
+      | Ok t' -> Alcotest.(check bool) "file round-trip" true (t = t')
+      | Error e -> Alcotest.failf "load failed: %s" e)
+
+let test_trajectory_validation_errors () =
+  let reject label raw =
+    match Trajectory.validate raw with
+    | Ok _ -> Alcotest.failf "%s: accepted invalid input" label
+    | Error _ -> ()
+  in
+  reject "not json" "][";
+  reject "wrong schema tag"
+    {|{"schema":"scs.bench.trajectory/999","run":"x","seed":1,"records":[]}|};
+  reject "missing seed" {|{"schema":"scs.bench.trajectory/1","run":"x","records":[]}|};
+  reject "record missing field"
+    {|{"schema":"scs.bench.trajectory/1","run":"x","seed":1,
+       "records":[{"workload":"a1","n":2,"runs":5}]}|};
+  match
+    Trajectory.validate
+      {|{"schema":"scs.bench.trajectory/1","run":"x","seed":1,"records":[]}|}
+  with
+  | Ok t -> Alcotest.(check int) "empty records ok" 0 (List.length t.Trajectory.records)
+  | Error e -> Alcotest.failf "rejected valid input: %s" e
+
+let test_json_parser () =
+  let roundtrip v =
+    match Json.of_string (Json.to_string v) with
+    | Ok v' -> Alcotest.(check bool) "json round-trip" true (v = v')
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  roundtrip
+    (Json.Obj
+       [
+         ("s", Json.String "q\"uo\\te\n");
+         ("i", Json.Int (-42));
+         ("f", Json.Float 1.5);
+         ("l", Json.List [ Json.Bool true; Json.Null ]);
+         ("empty", Json.Obj []);
+       ]);
+  (match Json.of_string "{\"a\": [1, 2.5]}" with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float 2.5 ]) ]) -> ()
+  | Ok j -> Alcotest.failf "unexpected parse: %s" (Json.to_string j)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted malformed json: %s" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; "nul"; "\"unterminated"; "{\"a\" 1}"; "1 2" ]
+
+let tests =
+  [
+    Alcotest.test_case "known-answer: step contention" `Quick
+      test_known_answer_step_contention;
+    Alcotest.test_case "known-answer: interval contention" `Quick
+      test_known_answer_interval_contention;
+    Alcotest.test_case "implicit close on re-begin" `Quick test_implicit_close;
+    Alcotest.test_case "counters and object census" `Quick test_counters_and_objects;
+    Alcotest.test_case "crash closes bracket as aborted" `Quick
+      test_crash_closes_bracket_aborted;
+    Alcotest.test_case "ring buffer evicts oldest" `Quick test_ring_eviction;
+    Alcotest.test_case "null sink is inert" `Quick test_null_sink;
+    Alcotest.test_case "solo run measures zero contention" `Quick
+      test_solo_zero_contention;
+    Alcotest.test_case "online estimators match Detect" `Quick test_cross_check_detect;
+    Alcotest.test_case "obs never changes fuzz verdicts" `Quick
+      test_obs_never_changes_verdicts;
+    Alcotest.test_case "trajectory round-trip" `Quick test_trajectory_roundtrip;
+    Alcotest.test_case "trajectory validation errors" `Quick
+      test_trajectory_validation_errors;
+    Alcotest.test_case "json parser round-trip and errors" `Quick test_json_parser;
+  ]
