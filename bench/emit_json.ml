@@ -3,12 +3,18 @@
    per (workload, n) cell, measured by the obs sink via Obs_run.
 
    Usage:
-     dune exec bench/emit_json.exe -- [-o FILE] [--run ID] [--seed S] [--runs K]
+     dune exec bench/emit_json.exe -- [-o FILE] [--run ID] [--seed S] [--runs K] [--trials T]
      dune exec bench/emit_json.exe -- --check FILE   # validate only (CI smoke)
 
-   The committed BENCH_4.json at the repo root is produced by the
+   The committed BENCH_5.json at the repo root is produced by the
    default invocation:
-     dune exec bench/emit_json.exe -- -o BENCH_4.json *)
+     dune exec bench/emit_json.exe -- -o BENCH_5.json
+
+   Each cell is measured [trials] times and the trial with the highest
+   schedules_per_sec is kept: the recorded metrics (p50/p99 steps, max
+   interval contention) are deterministic for a fixed seed, so trials
+   differ only in wall-clock throughput, and best-of-T filters
+   scheduler/frequency noise out of the committed numbers. *)
 
 open Scs_workload
 open Scs_obs
@@ -25,15 +31,63 @@ let cells =
     (Obs_run.Cons Cons_run.Bakery, [ 2; 4; 8 ]);
   ]
 
-let emit ~out ~run ~seed ~runs =
-  let records =
+(* parallel-generation cells: the composed speculative TAS again with
+   the batch fanned across OCaml domains (Obs_run.measure
+   ~gen_domains). Recorded under a "+genG" workload suffix so the
+   single-domain rows above stay comparable across PRs. *)
+let gen_cells = [ (Obs_run.Tas Tas_run.Composed, [ 2; 4; 8 ], [ 2; 4 ]) ]
+
+let best_record ~trials ~runs ~seed ~gen_domains target ~n =
+  let rec go i best =
+    if i >= trials then best
+    else
+      let r =
+        Obs_run.to_record (Obs_run.measure ~runs ~seed ~gen_domains target ~n)
+      in
+      let best =
+        match best with
+        | Some b
+          when b.Trajectory.schedules_per_sec >= r.Trajectory.schedules_per_sec
+          ->
+            Some b
+        | _ -> Some r
+      in
+      go (i + 1) best
+  in
+  match go 0 None with
+  | Some r -> r
+  | None -> invalid_arg "emit_json: --trials must be >= 1"
+
+let emit ~out ~run ~seed ~runs ~trials =
+  let cell target ~n ~gen_domains =
+    let r = best_record ~trials ~runs ~seed ~gen_domains target ~n in
+    let r =
+      if gen_domains = 1 then r
+      else
+        {
+          r with
+          Trajectory.workload =
+            Printf.sprintf "%s+gen%d" (Obs_run.target_name target) gen_domains;
+        }
+    in
+    Printf.eprintf "  %-18s n=%d  %.0f schedules/s\n%!" r.Trajectory.workload n
+      r.Trajectory.schedules_per_sec;
+    r
+  in
+  let base =
     List.concat_map
-      (fun (target, ns) ->
-        List.map
-          (fun n -> Obs_run.to_record (Obs_run.measure ~runs ~seed target ~n))
-          ns)
+      (fun (target, ns) -> List.map (fun n -> cell target ~n ~gen_domains:1) ns)
       cells
   in
+  let gen =
+    List.concat_map
+      (fun (target, ns, gs) ->
+        List.concat_map
+          (fun g -> List.map (fun n -> cell target ~n ~gen_domains:g) ns)
+          gs)
+      gen_cells
+  in
+  let records = base @ gen in
   let t = { Trajectory.run; seed; records } in
   Trajectory.save out t;
   Printf.printf "wrote %s: %d records, schema %s\n" out (List.length records)
@@ -51,17 +105,21 @@ let check file =
       exit 1
 
 let () =
-  let out = ref "BENCH_4.json" in
-  let run = ref "pr4" in
+  let out = ref "BENCH_5.json" in
+  let run = ref "pr5" in
   let seed = ref 42 in
-  let runs = ref 200 in
+  let runs = ref 20000 in
+  let trials = ref 5 in
   let check_file = ref None in
   let spec =
     [
-      ("-o", Arg.Set_string out, "FILE output path (default BENCH_4.json)");
-      ("--run", Arg.Set_string run, "ID run identifier (default pr4)");
+      ("-o", Arg.Set_string out, "FILE output path (default BENCH_5.json)");
+      ("--run", Arg.Set_string run, "ID run identifier (default pr5)");
       ("--seed", Arg.Set_int seed, "S root seed (default 42)");
-      ("--runs", Arg.Set_int runs, "K simulations per cell (default 200)");
+      ("--runs", Arg.Set_int runs, "K simulations per cell (default 20000)");
+      ( "--trials",
+        Arg.Set_int trials,
+        "T trials per cell, best throughput kept (default 5)" );
       ( "--check",
         Arg.String (fun f -> check_file := Some f),
         "FILE validate an existing trajectory file and exit" );
@@ -69,7 +127,7 @@ let () =
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" a)))
-    "emit_json [-o FILE] [--run ID] [--seed S] [--runs K] | --check FILE";
+    "emit_json [-o FILE] [--run ID] [--seed S] [--runs K] [--trials T] | --check FILE";
   match !check_file with
   | Some f -> check f
-  | None -> emit ~out:!out ~run:!run ~seed:!seed ~runs:!runs
+  | None -> emit ~out:!out ~run:!run ~seed:!seed ~runs:!runs ~trials:!trials

@@ -211,7 +211,13 @@ let explore_cmd =
       & info [ "domains" ] ~docv:"D"
           ~doc:"Fan the exploration out over $(docv) OCaml domains.")
   in
-  let run n algo budget por domains =
+  let stats_flag_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print simulator-pool statistics (fresh creates vs rewind reuses).")
+  in
+  let run n algo budget por domains pool_stats =
     let outcome, bad =
       Tas_run.explore_one_shot ~max_schedules:budget ~por ~domains ~n ~algo ()
     in
@@ -222,17 +228,22 @@ let explore_cmd =
       (if outcome.Explore.truncated then " (budget-truncated)" else " (complete)")
       outcome.Explore.pruned outcome.Explore.truncated_runs outcome.Explore.steps_replayed
       outcome.Explore.wall_s bad;
+    if pool_stats then
+      Printf.printf "pool: %d fresh simulator(s), %d rewind reuse(s)\n"
+        outcome.Explore.sims_created outcome.Explore.sims_reused;
     if bad > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Exhaustively enumerate interleavings of a one-shot TAS run and check strict           linearizability on each (bounded model checking).")
-    Term.(const run $ n_arg $ tas_algo_arg $ budget_arg $ por_arg $ domains_arg)
+    Term.(
+      const run $ n_arg $ tas_algo_arg $ budget_arg $ por_arg $ domains_arg
+      $ stats_flag_arg)
 
 (* ---- fuzz ------------------------------------------------------------------ *)
 
-let print_fuzz_report (r : Fuzz.report) =
+let print_fuzz_report ?(pool_stats = false) (r : Fuzz.report) =
   let rows =
     List.map
       (fun (s : Fuzz.policy_stats) ->
@@ -240,13 +251,16 @@ let print_fuzz_report (r : Fuzz.report) =
           s.Fuzz.s_policy;
           string_of_int s.Fuzz.s_runs;
           Printf.sprintf "%.0f" (Fuzz.schedules_per_sec s);
+          (* generation and verification throughput, separately: wall
+             time spent producing schedules vs CPU time spent in checks *)
+          Printf.sprintf "%.0f" (Fuzz.gen_per_sec s);
+          Printf.sprintf "%.0f" (Fuzz.check_per_sec s);
           Printf.sprintf "%.0f" s.Fuzz.s_step_p50;
           Printf.sprintf "%.0f" s.Fuzz.s_step_p99;
           string_of_int s.Fuzz.s_max_contention;
           string_of_int s.Fuzz.s_violations;
           string_of_int s.Fuzz.s_skipped;
           string_of_int s.Fuzz.s_checked_large;
-          Printf.sprintf "%.2f" s.Fuzz.s_check_wall;
           (match s.Fuzz.s_first_failure with
           | Some (run, t) -> Printf.sprintf "run %d (%.1f ms)" run (1000. *. t)
           | None -> "-");
@@ -257,10 +271,16 @@ let print_fuzz_report (r : Fuzz.report) =
     ~title:(Printf.sprintf "fuzz %s n=%d seed=%d" r.Fuzz.r_workload r.Fuzz.r_n r.Fuzz.r_seed)
     ~header:
       [
-        "policy"; "runs"; "sched/s"; "p50 st"; "p99 st"; "maxC"; "viol"; "skip"; "large";
-        "check s"; "first failure";
+        "policy"; "runs"; "sched/s"; "gen/s"; "check/s"; "p50 st"; "p99 st"; "maxC";
+        "viol"; "skip"; "large"; "first failure";
       ]
-    rows
+    rows;
+  if pool_stats then begin
+    let p = r.Fuzz.r_pool in
+    Printf.printf
+      "pool: %d fresh simulator(s), %d pooled reuse(s), peak %d objects, peak %d turns\n"
+      p.Pool.created p.Pool.reused p.Pool.peak_objects p.Pool.peak_turns
+  end
 
 let fuzz_cmd =
   let workload_arg =
@@ -308,8 +328,23 @@ let fuzz_cmd =
             "Verify runs on $(docv) domains in parallel (1 = inline, fully \
              deterministic).")
   in
+  let gen_domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "gen-domains" ] ~docv:"D"
+          ~doc:
+            "Generate schedules on $(docv) domains in parallel, each with its own \
+             seed stream and pooled simulator (1 = the legacy sequential stream).")
+  in
+  let stats_flag_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print simulator-pool statistics (fresh creates vs pooled reuses, \
+                peak arena sizes) after each report.")
+  in
   let run workload list_workloads n_opt runs budget max_violations seed out no_shrink
-      check_domains =
+      check_domains gen_domains pool_stats =
     if list_workloads then begin
       List.iter
         (fun (w : Fuzz_run.t) ->
@@ -335,9 +370,9 @@ let fuzz_cmd =
         let n = Option.value n_opt ~default:w.Fuzz_run.default_n in
         let report =
           Fuzz_run.fuzz ?time_budget:budget ~runs ~max_violations ~seed
-            ~check_domains w ~n
+            ~check_domains ~gen_domains w ~n
         in
-        print_fuzz_report report;
+        print_fuzz_report ~pool_stats report;
         List.iter
           (fun (v : Fuzz.violation) ->
             incr found;
@@ -379,7 +414,8 @@ let fuzz_cmd =
           when violations were found).")
     Term.(
       const run $ workload_arg $ list_arg $ n_opt_arg $ runs_arg $ budget_arg $ max_viol_arg
-      $ seed_arg $ out_arg $ no_shrink_arg $ check_domains_arg)
+      $ seed_arg $ out_arg $ no_shrink_arg $ check_domains_arg $ gen_domains_arg
+      $ stats_flag_arg)
 
 (* ---- stats ----------------------------------------------------------------- *)
 
@@ -433,7 +469,24 @@ let stats_cmd =
       value & flag
       & info [ "objects" ] ~doc:"Print the per-object step census of the last row.")
   in
-  let run target list_targets ns n runs seed policy crash_prob solo json run_id objects =
+  let gen_domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "gen-domains" ] ~docv:"G"
+          ~doc:
+            "Split each batch across $(docv) OCaml domains, each with a pooled \
+             simulator and private obs sink, merged deterministically at join.")
+  in
+  let no_pool_arg =
+    Arg.(
+      value & flag
+      & info [ "no-pool" ]
+          ~doc:
+            "Use the legacy fresh-simulator-per-run engine instead of the pooled \
+             reset engine (for before/after comparisons).")
+  in
+  let run target list_targets ns n runs seed policy crash_prob solo json run_id objects
+      gen_domains no_pool =
     if list_targets then begin
       List.iter print_endline (Obs_run.target_names ());
       exit 0
@@ -451,8 +504,8 @@ let stats_cmd =
         (fun n ->
           if solo then Obs_run.solo target ~n
           else
-            Obs_run.measure ~runs ~seed ~policy:(make_policy policy) ~crash_prob target
-              ~n)
+            Obs_run.measure ~runs ~seed ~policy:(make_policy policy) ~crash_prob
+              ~gen_domains ~pooled:(not no_pool) target ~n)
         ns
     in
     let rows =
@@ -527,7 +580,8 @@ let stats_cmd =
           optionally emitted as a validated bench-trajectory JSON (docs/metrics.md).")
     Term.(
       const run $ target_arg $ list_targets_arg $ ns_arg $ n_arg $ runs_arg $ seed_arg
-      $ policy_arg $ crash_prob_arg $ solo_arg $ json_arg $ run_id_arg $ objects_arg)
+      $ policy_arg $ crash_prob_arg $ solo_arg $ json_arg $ run_id_arg $ objects_arg
+      $ gen_domains_arg $ no_pool_arg)
 
 (* ---- replay ---------------------------------------------------------------- *)
 

@@ -24,8 +24,9 @@
       the reference implementation; the unit tests cross-check them).
     - {b interval contention} of [op] is the number of {e distinct
       other processes} whose own bracketed operations overlap [op]'s
-      interval. Maintained online with a per-open-operation boolean
-      array: O(n) work at each {!op_begin}, O(n) at {!op_end}, zero on
+      interval. Maintained online with a per-open-operation overlap
+      bitmask (one bit per process — hence the sink's 62-process cap):
+      O(n) work at each {!op_begin}, a popcount at {!op_end}, zero on
       the step hot path.
 
     Solo executions therefore measure 0 for both, and step contention
@@ -79,9 +80,15 @@ type op_metric = {
 
 type t
 
-val create : ?ring_capacity:int -> n:int -> unit -> t
+val create : ?ring_capacity:int -> ?record_ring:bool -> n:int -> unit -> t
 (** An enabled sink for processes [0..n-1]. [ring_capacity] (default
-    [4096]) bounds the structured trace; older events are evicted. *)
+    [4096]) bounds the structured trace; older events are evicted.
+    [record_ring] (default [true]) controls whether events are written
+    to the ring at all: batch-measurement engines pass [false] for
+    sinks whose ring nobody replays, which drops two string stores (and
+    their write barriers) per simulated step from the hot path. The
+    counters, census, op metrics and crash list are unaffected —
+    {!events} just returns []. *)
 
 val null : t
 (** The no-op sink: {!enabled} is [false] and every hook returns
@@ -89,6 +96,9 @@ val null : t
     exists, keeping instrumentation off the hot path. *)
 
 val enabled : t -> bool
+
+val ring_capacity : t -> int
+(** The bound passed at {!create} (1 for {!null}). *)
 
 (** {2 Hooks} — called by the simulator and by algorithm drivers.
     All are no-ops on {!null}. *)
@@ -159,3 +169,19 @@ val events : t -> event list
 (** Ring contents, oldest first. At most [ring_capacity] entries. *)
 
 val event_to_string : event -> string
+
+(** {2 Merging} *)
+
+val merge_into : into:t -> t -> unit
+(** Fold one sink into another — the join step when each domain of a
+    parallel explore/fuzz ran against its own private sink. Counters,
+    per-object census and contention maxima are summed/maxed; op
+    metrics are appended in the source's completion order; crashes are
+    appended after the destination's; the source's ring is replayed
+    into the destination oldest-first (destination eviction applies).
+    Merging the per-domain sinks in a fixed (worker-index) order makes
+    the combined sink deterministic for a deterministic work split.
+    Open (un-ended) brackets of the source are dropped. The source is
+    not modified. A disabled source is a no-op; raises
+    [Invalid_argument] if the destination is disabled or sized for
+    fewer processes than the source. *)

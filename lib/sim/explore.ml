@@ -6,10 +6,29 @@ type outcome = {
   truncated_runs : int;
   pruned : int;
   steps_replayed : int;
+  sims_created : int;
+  sims_reused : int;
   wall_s : float;
 }
 
 exception Replay_drift = Policy.Replay_drift
+
+let popcount m =
+  let c = ref 0 and m = ref m in
+  while !m <> 0 do
+    m := !m land (!m - 1);
+    incr c
+  done;
+  !c
+
+(* lowest set bit index of a non-zero mask *)
+let lsb m =
+  let i = ref 0 and m = ref m in
+  while !m land 1 = 0 do
+    m := !m lsr 1;
+    incr i
+  done;
+  !i
 
 (* Per-engine mutable state. One [ctx] per worker domain; [run_count] is
    the only piece shared between workers: the global budget over
@@ -32,6 +51,9 @@ type ctx = {
   mutable truncated_runs : int;
   mutable truncated : bool;
   mutable stop : bool;
+  mutable cached : Sim.t option;  (** the worker's pooled simulator *)
+  mutable created : int;  (** fresh [Sim.create]s *)
+  mutable reused : int;  (** [Sim.clear] rewinds instead of creates *)
 }
 
 let mk_ctx ~n ~obs ~setup ~check ~por ~max_depth ~max_schedules ~run_count =
@@ -51,6 +73,9 @@ let mk_ctx ~n ~obs ~setup ~check ~por ~max_depth ~max_schedules ~run_count =
     truncated_runs = 0;
     truncated = false;
     stop = false;
+    cached = None;
+    created = 0;
+    reused = 0;
   }
 
 (* Charge one terminated run against the global budget; [true] iff the
@@ -59,8 +84,23 @@ let budget_spent ctx =
   let c = Atomic.fetch_and_add ctx.run_count 1 in
   c >= ctx.max_schedules
 
+(* Rewind the worker's pooled simulator and re-run [setup] — a fresh
+   start without reallocating arenas. Safe because the DFS only ever
+   advances the newest simulator: by the time a backtrack replays, no
+   frame touches the previous instance again. *)
 let fresh_sim ctx =
-  let sim = Sim.create ~obs:ctx.obs ~n:ctx.n () in
+  let sim =
+    match ctx.cached with
+    | Some s ->
+        ctx.reused <- ctx.reused + 1;
+        Sim.clear s;
+        s
+    | None ->
+        ctx.created <- ctx.created + 1;
+        let s = Sim.create ~obs:ctx.obs ~n:ctx.n () in
+        ctx.cached <- Some s;
+        s
+  in
   ctx.setup sim;
   ctx.base_objs <- Sim.objects_allocated sim;
   sim
@@ -97,67 +137,82 @@ let leaf ctx sim rev_prefix =
     ctx.check sim (List.rev rev_prefix)
   end
 
+(* Packed footprint codes ({!Sim.footprint_code}) for every enabled pid
+   at the current node; -1 (Local, commutes with everything) elsewhere.
+   One small array per node — it must survive the recursion into earlier
+   children, so it cannot live in a per-ctx scratch buffer. *)
+let node_codes ctx sim enabled =
+  Array.init ctx.n (fun p ->
+      if enabled land (1 lsl p) <> 0 then Sim.footprint_code sim p else -1)
+
 (* Single-replay DFS with sleep sets.
 
    The recursion owns a live simulator positioned at the current node. The
    first child is explored by stepping the live simulator forward (no
-   replay); each later sibling replays the prefix once. A maximal schedule
+   replay); each later sibling replays the prefix once — into the same
+   pooled simulator, rewound with [Sim.clear]. A maximal schedule
    therefore costs O(depth) simulator turns instead of the seed's O(depth)
-   replays per node (O(depth^2) turns per schedule).
+   replays per node (O(depth^2) turns per schedule), and zero simulator
+   allocations after the first.
 
-   [sleep] is the sleep set of the node: pids whose next turn has already
-   been explored from an equivalent state along a sibling branch. When
-   [ctx.por] is set, enabled-but-sleeping pids are pruned; a child's sleep
-   set keeps exactly the sleepers (plus earlier siblings) whose pending turn
-   commutes with the branching turn. *)
+   [sleep] is the sleep set of the node as a pid bitmask: pids whose next
+   turn has already been explored from an equivalent state along a sibling
+   branch. When [ctx.por] is set, enabled-but-sleeping pids are pruned; a
+   child's sleep set keeps exactly the sleepers (plus earlier siblings)
+   whose pending turn commutes with the branching turn
+   ({!Sim.codes_commute} on packed footprint codes — no allocation). *)
 let rec dfs ctx sim rev_prefix depth sleep =
-  if not ctx.stop then
-    match Sim.runnable sim with
-    | [] -> leaf ctx sim rev_prefix
-    | enabled ->
-        if depth >= ctx.max_depth then begin
-          ctx.truncated_runs <- ctx.truncated_runs + 1;
-          ctx.truncated <- true;
-          if budget_spent ctx then ctx.stop <- true
-        end
+  if not ctx.stop then begin
+    let enabled = Sim.runnable_bits sim in
+    if enabled = 0 then leaf ctx sim rev_prefix
+    else if depth >= ctx.max_depth then begin
+      ctx.truncated_runs <- ctx.truncated_runs + 1;
+      ctx.truncated <- true;
+      if budget_spent ctx then ctx.stop <- true
+    end
+    else begin
+      let sleeping = if ctx.por then enabled land sleep else 0 in
+      let candidates = enabled land lnot sleeping in
+      ctx.pruned <- ctx.pruned + popcount sleeping;
+      let codes = if ctx.por then node_codes ctx sim enabled else [||] in
+      let child_sleep p explored =
+        if not ctx.por then 0
         else begin
-          let sleeping, candidates =
-            if ctx.por then List.partition (fun p -> List.mem p sleep) enabled
-            else ([], enabled)
-          in
-          ctx.pruned <- ctx.pruned + List.length sleeping;
-          let fps = List.map (fun p -> (p, Sim.footprint sim p)) enabled in
-          let fp p = List.assoc p fps in
-          let child_sleep p explored =
-            if ctx.por then
-              List.filter
-                (fun q -> q <> p && Sim.footprints_commute (fp q) (fp p))
-                (sleeping @ explored)
-            else []
-          in
-          let rec branch sim explored = function
-            | [] -> ()
-            | p :: rest ->
-                if not ctx.stop then begin
-                  let sim =
-                    match sim with
-                    | Some s -> s
-                    | None -> replay ctx (List.rev rev_prefix)
-                  in
-                  let sl = child_sleep p explored in
-                  step ctx sim p;
-                  dfs ctx sim (p :: rev_prefix) (depth + 1) sl;
-                  branch None (p :: explored) rest
-                end
-          in
-          branch (Some sim) [] candidates
+          let base = (sleeping lor explored) land lnot (1 lsl p) in
+          let out = ref 0 in
+          let m = ref base in
+          while !m <> 0 do
+            let q = lsb !m in
+            m := !m land (!m - 1);
+            if Sim.codes_commute codes.(q) codes.(p) then out := !out lor (1 lsl q)
+          done;
+          !out
         end
+      in
+      (* children in ascending pid order, lowest set bit first *)
+      let rec branch sim explored m =
+        if m <> 0 && not ctx.stop then begin
+          let p = lsb m in
+          let sim =
+            match sim with
+            | Some s -> s
+            | None -> replay ctx (List.rev rev_prefix)
+          in
+          let sl = child_sleep p explored in
+          step ctx sim p;
+          dfs ctx sim (p :: rev_prefix) (depth + 1) sl;
+          branch None (explored lor (1 lsl p)) (m land (m - 1))
+        end
+      in
+      branch (Some sim) 0 candidates
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Multicore fan-out                                                   *)
 (* ------------------------------------------------------------------ *)
 
-type task = { t_prefix : int list (* execution order *); t_sleep : int list }
+type task = { t_prefix : int list (* execution order *); t_sleep : int (* pid mask *) }
 
 (* Expand the root into a frontier of independent subtree tasks, enough to
    keep [domains] workers busy. Expansion runs in the calling domain and
@@ -166,7 +221,7 @@ type task = { t_prefix : int list (* execution order *); t_sleep : int list }
    during expansion are checked inline. *)
 let expand_frontier ctx ~target =
   let frontier = Queue.create () in
-  Queue.add { t_prefix = []; t_sleep = [] } frontier;
+  Queue.add { t_prefix = []; t_sleep = 0 } frontier;
   let out = ref [] in
   let budget_depth = 8 in
   while (not ctx.stop) && Queue.length frontier > 0
@@ -175,29 +230,36 @@ let expand_frontier ctx ~target =
     if List.length t.t_prefix >= budget_depth then out := t :: !out
     else begin
       let sim = replay ctx t.t_prefix in
-      match Sim.runnable sim with
-      | [] -> leaf ctx sim (List.rev t.t_prefix)
-      | enabled ->
-          let sleeping, candidates =
-            if ctx.por then List.partition (fun p -> List.mem p t.t_sleep) enabled
-            else ([], enabled)
+      let enabled = Sim.runnable_bits sim in
+      if enabled = 0 then leaf ctx sim (List.rev t.t_prefix)
+      else begin
+        let sleeping = if ctx.por then enabled land t.t_sleep else 0 in
+        let candidates = enabled land lnot sleeping in
+        ctx.pruned <- ctx.pruned + popcount sleeping;
+        let codes = if ctx.por then node_codes ctx sim enabled else [||] in
+        let explored = ref 0 in
+        let m = ref candidates in
+        while !m <> 0 do
+          let p = lsb !m in
+          m := !m land (!m - 1);
+          let sl =
+            if not ctx.por then 0
+            else begin
+              let base = (sleeping lor !explored) land lnot (1 lsl p) in
+              let out = ref 0 in
+              let b = ref base in
+              while !b <> 0 do
+                let q = lsb !b in
+                b := !b land (!b - 1);
+                if Sim.codes_commute codes.(q) codes.(p) then out := !out lor (1 lsl q)
+              done;
+              !out
+            end
           in
-          ctx.pruned <- ctx.pruned + List.length sleeping;
-          let fps = List.map (fun p -> (p, Sim.footprint sim p)) enabled in
-          let fp p = List.assoc p fps in
-          let explored = ref [] in
-          List.iter
-            (fun p ->
-              let sl =
-                if ctx.por then
-                  List.filter
-                    (fun q -> q <> p && Sim.footprints_commute (fp q) (fp p))
-                    (sleeping @ !explored)
-                else []
-              in
-              Queue.add { t_prefix = t.t_prefix @ [ p ]; t_sleep = sl } frontier;
-              explored := p :: !explored)
-            candidates
+          Queue.add { t_prefix = t.t_prefix @ [ p ]; t_sleep = sl } frontier;
+          explored := !explored lor (1 lsl p)
+        done
+      end
     end
   done;
   Queue.fold (fun acc t -> t :: acc) !out frontier
@@ -221,25 +283,34 @@ let run_tasks ctx tasks =
 
 let exhaustive ?(max_schedules = 200_000) ?(max_depth = 10_000) ?(por = false)
     ?(domains = 1) ?(obs = Scs_obs.Obs.null) ~n ~setup ~check () =
-  if Scs_obs.Obs.enabled obs && domains > 1 then
-    invalid_arg "Explore.exhaustive: ~obs requires ~domains:1 (the sink is not domain-safe)";
   let t0 = Unix.gettimeofday () in
   let run_count = Atomic.make 0 in
-  let mk () = mk_ctx ~n ~obs ~setup ~check ~por ~max_depth ~max_schedules ~run_count in
+  let mk ~obs () = mk_ctx ~n ~obs ~setup ~check ~por ~max_depth ~max_schedules ~run_count in
   let ctxs, exns =
     if domains <= 1 then begin
-      let ctx = mk () in
+      let ctx = mk ~obs () in
       let sim = fresh_sim ctx in
-      dfs ctx sim [] 0 [];
+      dfs ctx sim [] 0 0;
       ([ ctx ], [])
     end
     else begin
-      let root = mk () in
+      (* Root expansion runs in the calling domain against the user's
+         sink; each worker then gets a private sink (merged at join in
+         worker-index order), so an enabled sink no longer restricts
+         exploration to one domain. *)
+      let fan_obs = Scs_obs.Obs.enabled obs in
+      let worker_obs =
+        Array.init (domains - 1) (fun _ ->
+            if fan_obs then
+              Scs_obs.Obs.create ~ring_capacity:(Scs_obs.Obs.ring_capacity obs) ~n ()
+            else obs)
+      in
+      let root = mk ~obs () in
       let tasks = expand_frontier root ~target:(4 * domains) in
       let queue = Array.of_list tasks in
       let next = Atomic.make 0 in
-      let worker () =
-        let ctx = mk () in
+      let worker wobs () =
+        let ctx = mk ~obs:wobs () in
         let rec loop () =
           let i = Atomic.fetch_and_add next 1 in
           if i >= Array.length queue || ctx.stop then (ctx, None)
@@ -250,9 +321,13 @@ let exhaustive ?(max_schedules = 200_000) ?(max_depth = 10_000) ?(por = false)
         in
         loop ()
       in
-      let others = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-      let mine = worker () in
+      let others =
+        Array.init (domains - 1) (fun i -> Domain.spawn (worker worker_obs.(i)))
+      in
+      let mine = worker obs () in
       let joined = mine :: Array.to_list (Array.map Domain.join others) in
+      if fan_obs then
+        Array.iter (fun wobs -> Scs_obs.Obs.merge_into ~into:obs wobs) worker_obs;
       ( root :: List.map fst joined,
         List.filter_map snd joined )
     end
@@ -265,15 +340,17 @@ let exhaustive ?(max_schedules = 200_000) ?(max_depth = 10_000) ?(por = false)
     truncated_runs = sum (fun c -> c.truncated_runs);
     pruned = sum (fun c -> c.pruned);
     steps_replayed = sum (fun c -> c.steps);
+    sims_created = sum (fun c -> c.created);
+    sims_reused = sum (fun c -> c.reused);
     wall_s = Unix.gettimeofday () -. t0;
   }
 
 let random_runs ?(runs = 200) ?(seed = 42) ~n ~setup ~check () =
   let rng = Rng.create seed in
-  for _ = 1 to runs do
-    let sim = Sim.create ~n () in
+  let sim = Sim.create ~n () in
+  for i = 1 to runs do
+    if i > 1 then Sim.clear sim;
     setup sim;
-    let policy = Policy.random (Rng.split rng) in
-    Sim.run sim policy;
+    Sim.run_fast sim (Policy.fast_random (Rng.split rng));
     check sim
   done

@@ -25,12 +25,17 @@
       [Invalid_argument] if a fiber allocates one mid-run).
     - [~domains:k] with [k > 1] partitions the top-level branch frontier
       across [k] OCaml domains (work queue, per-domain counters,
-      deterministic merge). Each subtree starts from a fresh simulator, so
-      workers share no simulator state — but [setup]/[check] closures run
-      concurrently and must be domain-safe. With the default [domains:1]
-      existing callers are fully sequential and deterministic. Counts are
-      deterministic for complete explorations; when the [max_schedules]
-      budget trips, which schedules were checked may vary between runs. *)
+      deterministic merge). Each subtree runs on its worker's own pooled
+      simulator, so workers share no simulator state — but
+      [setup]/[check] closures run concurrently and must be domain-safe.
+      With the default [domains:1] existing callers are fully sequential
+      and deterministic. Counts are deterministic for complete
+      explorations; when the [max_schedules] budget trips, which
+      schedules were checked may vary between runs.
+
+    Backtrack replays reuse one pooled simulator per worker ({!Sim.clear}
+    plus a fresh [setup] instead of a fresh allocation); the outcome
+    reports the resulting create/reuse split. *)
 
 type outcome = {
   schedules : int;  (** maximal schedules checked (never exceeds budget) *)
@@ -40,6 +45,10 @@ type outcome = {
   pruned : int;  (** branches pruned by partial-order reduction *)
   steps_replayed : int;
       (** total simulator turns executed, including backtrack replays *)
+  sims_created : int;  (** fresh simulator allocations (one per worker) *)
+  sims_reused : int;
+      (** backtrack replays served by rewinding the worker's pooled
+          simulator ({!Sim.clear}) instead of allocating a fresh one *)
   wall_s : float;  (** wall-clock seconds for the whole exploration *)
 }
 
@@ -71,9 +80,11 @@ val exhaustive :
 
     [obs] (default {!Scs_obs.Obs.null}) is attached to every simulator
     the engine creates, aggregating step counters across all explored
-    schedules (including backtrack replays). The sink is not
-    domain-safe: passing an enabled sink with [domains > 1] raises
-    [Invalid_argument]. *)
+    schedules (including backtrack replays). With [domains > 1] each
+    worker domain records into a private sink which is folded into
+    [obs] at join ({!Scs_obs.Obs.merge_into}, worker-index order):
+    counter totals are exact; the bounded ring's surviving events
+    depend on which worker picked up which subtree. *)
 
 val random_runs :
   ?runs:int ->
@@ -84,4 +95,7 @@ val random_runs :
   unit ->
   unit
 (** [runs] (default 200) random-schedule simulations with distinct streams
-    derived from [seed] (default 42). *)
+    derived from [seed] (default 42). All runs reuse one pooled simulator
+    ({!Sim.clear} + [setup] per run) under the allocation-free scheduling
+    loop; schedules are identical to the historic fresh-simulator
+    engine. *)

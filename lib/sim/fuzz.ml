@@ -44,6 +44,9 @@ type policy_stats = {
   s_skipped : int;
   s_checked_large : int;
   s_check_wall : float;
+  s_gen_wall : float;
+      (** wall-clock spent generating schedules (the loop minus the
+          verification flushes); critical path (max) across gen domains *)
   s_wall : float;
   s_first_failure : (int * float) option;
       (** run index and wall-clock seconds of the first violation *)
@@ -59,9 +62,16 @@ type report = {
   r_seed : int;
   r_stats : policy_stats list;
   r_violations : violation list;
+  r_pool : Pool.stats;
+      (** simulator-pool totals across all policies and gen domains
+          (all-zero when [~pool:false]) *)
 }
 
 let schedules_per_sec s = if s.s_wall > 0.0 then float_of_int s.s_runs /. s.s_wall else 0.0
+let gen_per_sec s = if s.s_gen_wall > 0.0 then float_of_int s.s_runs /. s.s_gen_wall else 0.0
+
+let check_per_sec s =
+  if s.s_check_wall > 0.0 then float_of_int s.s_runs /. s.s_check_wall else 0.0
 
 (* Schedule-level step-contention of one run: for each process, the
    number of turns taken by *other* processes between its first and
@@ -70,10 +80,13 @@ let schedules_per_sec s = if s.s_wall > 0.0 then float_of_int s.s_runs /. s.s_wa
    on the simulator's hot path. Each captured turn executes at most
    one memory step, so this upper-bounds the step contention (paper
    §2) any single operation in the run can experience. *)
-let schedule_contention ~n (buf : int Vec.t) =
-  let first = Array.make n (-1) in
-  let last = Array.make n (-1) in
-  let count = Array.make n 0 in
+(* Scratch-array version: the caller owns [first]/[last]/[count]
+   (length n), reused across runs so the per-run cost is O(turns) with
+   no allocation. *)
+let schedule_contention_into ~n ~first ~last ~count (buf : int Vec.t) =
+  Array.fill first 0 n (-1);
+  Array.fill last 0 n (-1);
+  Array.fill count 0 n 0;
   Vec.iteri
     (fun i p ->
       if p >= 0 && p < n then begin
@@ -101,6 +114,17 @@ let base_policy kind rng n =
       let w = Array.init n (fun _ -> float_of_int (1 lsl Rng.int rng 5)) in
       Policy.weighted rng w
   | Pct k -> Policy.pct rng ~k ~depth:(16 * n)
+
+(* Fast counterparts, consuming the Rng stream identically — a pooled
+   fast run is bit-identical to a fresh boxed run (test_pool.ml). *)
+let fast_base_policy kind rng n =
+  match kind with
+  | Uniform -> Policy.fast_random rng
+  | Sticky p -> Policy.fast_sticky rng ~switch_prob:p
+  | Weighted ->
+      let w = Array.init n (fun _ -> float_of_int (1 lsl Rng.int rng 5)) in
+      Policy.fast_weighted rng w
+  | Pct k -> Policy.fast_pct rng ~k ~depth:(16 * n)
 
 let gen_crashes rng n max_crash_steps =
   List.filter_map
@@ -132,13 +156,17 @@ let now = Unix.gettimeofday
 let large_counter = Atomic.make 0
 let checked_large () = Atomic.incr large_counter
 
-(* A finished execution awaiting verification. *)
+(* A finished execution awaiting verification. [pd_done] runs after the
+   verdict is recorded — it releases the run's pooled simulator, which
+   is why a pooled simulator is never reused before its (possibly
+   deferred) check has read it. *)
 type pending = {
   pd_run : int;
   pd_seed : int;
   pd_schedule : int array;
   pd_crashes : (Sim.pid * int) list;
   pd_check : unit -> unit;
+  pd_done : unit -> unit;
 }
 
 type verdict = V_ok | V_viol of string | V_skip | V_exn of exn
@@ -182,123 +210,277 @@ let verify_chunk ~domains (chunk : pending array) =
     results
   end
 
+(* Result of generating one contiguous range of runs on one domain. *)
+type partial = {
+  mutable p_runs : int;
+  mutable p_turns : int;
+  mutable p_viol : (int * violation) list;  (* (global run index, v), newest first *)
+  mutable p_skipped : int;
+  mutable p_check_wall : float;
+  mutable p_flush_wall : float;  (* wall spent inside verification flushes *)
+  mutable p_wall : float;
+  mutable p_first : (int * float) option;
+  p_steps : float Vec.t;
+  mutable p_max_cont : int;
+  p_pool : Pool.stats;
+  p_obs : Scs_obs.Obs.t;  (* this domain's sink (the shared one when gen_domains = 1) *)
+}
+
 let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
     ?(max_violations = max_int) ?(seed = 1) ?max_steps ?(max_crash_steps = 15)
-    ?(check_domains = 1) ?(obs = Scs_obs.Obs.null) ~workload ~n ~instantiate () =
-  let violations = ref [] in
+    ?(check_domains = 1) ?(gen_domains = 1) ?(pool = true) ?(obs = Scs_obs.Obs.null) ~workload
+    ~n ~instantiate () =
+  let gen_domains = max 1 gen_domains in
+  let pool_totals = Pool.zero_stats () in
+  let per_policy_viols = ref [] in
+  (* reverse policy order *)
   let stats =
     List.mapi
       (fun idx spec ->
         let name = spec_name spec in
-        let prng = Rng.create (seed + (0x9E3779B9 * (idx + 1))) in
         let t0 = now () in
-        let nrun = ref 0 and nturn = ref 0 in
-        let sviol = ref 0 and nskip = ref 0 in
-        let check_wall = ref 0.0 in
-        let first = ref None in
-        let run_steps : float Vec.t = Vec.create () in
-        let max_cont = ref 0 in
         let large0 = Atomic.get large_counter in
-        let chunk_size = if check_domains <= 1 then 1 else 16 * check_domains in
-        let pending : pending Vec.t = Vec.create () in
-        let flush () =
-          let chunk = Vec.to_array pending in
-          Vec.clear pending;
-          let results = verify_chunk ~domains:check_domains chunk in
-          Array.iteri
-            (fun i (v, dt) ->
-              check_wall := !check_wall +. dt;
-              let p = chunk.(i) in
-              match v with
-              | V_ok -> ()
-              | V_skip -> incr nskip
-              | V_exn e -> raise e
-              | V_viol msg ->
-                  incr sviol;
-                  if !first = None then first := Some (p.pd_run, now () -. t0);
-                  violations :=
-                    {
-                      v_workload = workload;
-                      v_n = n;
-                      v_policy = name;
-                      v_seed = p.pd_seed;
-                      v_schedule = p.pd_schedule;
-                      v_crashes = p.pd_crashes;
-                      v_error = msg;
-                    }
-                    :: !violations)
-            results
-        in
-        let keep_going () =
-          !nrun < runs
-          && !sviol < max_violations
-          && match time_budget with None -> true | Some b -> now () -. t0 < b
-        in
-        while keep_going () do
-          let run_seed = Rng.int prng 0x3FFFFFFF in
-          let rng = Rng.create run_seed in
-          let sim = Sim.create ?max_steps ~obs ~n () in
-          let setup, check = instantiate () in
-          setup sim;
-          let crashes =
-            if spec.crash_faults then gen_crashes rng n max_crash_steps else []
+        (* shared across this policy's gen domains: early stop on the
+           violation budget *)
+        let viol_count = Atomic.make 0 in
+        (* Generate runs [lo, hi) (global indices) on one domain. For
+           [dom = 0] the seed stream is exactly the legacy sequential
+           stream, so [gen_domains = 1] reproduces old behaviour run for
+           run. *)
+        let run_range ~dom ~lo ~hi () =
+          let prng = Rng.create (seed + (0x9E3779B9 * (idx + 1)) + (0x51ED270B * dom)) in
+          let dobs =
+            if gen_domains <= 1 || not (Scs_obs.Obs.enabled obs) then obs
+            else Scs_obs.Obs.create ~ring_capacity:(Scs_obs.Obs.ring_capacity obs) ~n ()
           in
-          let buf = Vec.create () in
-          let pol =
-            Policy.with_crashes crashes (Policy.capture buf (base_policy spec.kind rng n))
+          let part =
+            {
+              p_runs = 0;
+              p_turns = 0;
+              p_viol = [];
+              p_skipped = 0;
+              p_check_wall = 0.0;
+              p_flush_wall = 0.0;
+              p_wall = 0.0;
+              p_first = None;
+              p_steps = Vec.create ();
+              p_max_cont = 0;
+              p_pool = Pool.zero_stats ();
+              p_obs = dobs;
+            }
           in
-          (try
-             Sim.run sim pol;
-             Vec.push pending
-               {
-                 pd_run = !nrun;
-                 pd_seed = run_seed;
-                 pd_schedule = Vec.to_array buf;
-                 pd_crashes = crashes;
-                 pd_check = (fun () -> check sim);
-               }
-           with
-          | Violation msg ->
-              (* a check raised from inside a process fiber *)
-              incr sviol;
-              if !first = None then first := Some (!nrun, now () -. t0);
-              violations :=
+          let sim_pool = Pool.create ?max_steps ~obs:dobs ~n () in
+          let plan = Policy.crash_plan ~n in
+          let buf : int Vec.t = Vec.create () in
+          let sc_first = Array.make n 0 and sc_last = Array.make n 0 in
+          let sc_count = Array.make n 0 in
+          let chunk_size = if check_domains <= 1 then 1 else 16 * check_domains in
+          let pending : pending Vec.t = Vec.create () in
+          let record_violation gidx run_seed schedule crashes msg =
+            Atomic.incr viol_count;
+            if part.p_first = None then part.p_first <- Some (gidx, now () -. t0);
+            part.p_viol <-
+              ( gidx,
                 {
                   v_workload = workload;
                   v_n = n;
                   v_policy = name;
                   v_seed = run_seed;
-                  v_schedule = Vec.to_array buf;
+                  v_schedule = schedule;
                   v_crashes = crashes;
                   v_error = msg;
-                }
-                :: !violations
-          | Skip _ | Sim.Livelock _ -> incr nskip);
-          Vec.push run_steps (float_of_int (Sim.total_steps sim));
-          let c = schedule_contention ~n buf in
-          if c > !max_cont then max_cont := c;
-          nturn := !nturn + Vec.length buf;
-          incr nrun;
-          if Vec.length pending >= chunk_size then flush ()
-        done;
-        flush ();
-        let steps_arr = Vec.to_array run_steps in
-        let pct p =
-          if Array.length steps_arr = 0 then 0.0 else Stats.percentile steps_arr p
+                } )
+              :: part.p_viol
+          in
+          let flush () =
+            let tf0 = now () in
+            let chunk = Vec.to_array pending in
+            Vec.clear pending;
+            let results = verify_chunk ~domains:check_domains chunk in
+            Array.iteri
+              (fun i (v, dt) ->
+                part.p_check_wall <- part.p_check_wall +. dt;
+                let p = chunk.(i) in
+                (match v with
+                | V_ok -> ()
+                | V_skip -> part.p_skipped <- part.p_skipped + 1
+                | V_exn e -> raise e
+                | V_viol msg -> record_violation p.pd_run p.pd_seed p.pd_schedule p.pd_crashes msg);
+                p.pd_done ())
+              results;
+            part.p_flush_wall <- part.p_flush_wall +. (now () -. tf0)
+          in
+          let keep_going () =
+            lo + part.p_runs < hi
+            && Atomic.get viol_count < max_violations
+            && match time_budget with None -> true | Some b -> now () -. t0 < b
+          in
+          while keep_going () do
+            let gidx = lo + part.p_runs in
+            let run_seed = Rng.int prng 0x3FFFFFFF in
+            let rng = Rng.create run_seed in
+            let setup, check = instantiate () in
+            if pool then begin
+              let sim = Pool.acquire sim_pool in
+              setup sim;
+              let crashes =
+                if spec.crash_faults then gen_crashes rng n max_crash_steps else []
+              in
+              Vec.clear buf;
+              let fast = fast_base_policy spec.kind rng n in
+              let ok =
+                try
+                  (match crashes with
+                  | [] -> Policy.drive ~capture:buf sim fast
+                  | cs ->
+                      Policy.arm_crashes plan cs;
+                      Policy.drive ~capture:buf ~crashes:plan sim fast);
+                  true
+                with
+                | Violation msg ->
+                    (* a check raised from inside a process fiber *)
+                    record_violation gidx run_seed (Vec.to_array buf) crashes msg;
+                    false
+                | Skip _ | Sim.Livelock _ ->
+                    part.p_skipped <- part.p_skipped + 1;
+                    false
+              in
+              Vec.push part.p_steps (float_of_int (Sim.total_steps sim));
+              let c = schedule_contention_into ~n ~first:sc_first ~last:sc_last ~count:sc_count buf in
+              if c > part.p_max_cont then part.p_max_cont <- c;
+              part.p_turns <- part.p_turns + Vec.length buf;
+              if ok then
+                Vec.push pending
+                  {
+                    pd_run = gidx;
+                    pd_seed = run_seed;
+                    pd_schedule = Vec.to_array buf;
+                    pd_crashes = crashes;
+                    pd_check = (fun () -> check sim);
+                    pd_done = (fun () -> Pool.release sim_pool sim);
+                  }
+              else Pool.release sim_pool sim
+            end
+            else begin
+              (* fresh-simulator reference path: one Sim.create and boxed
+                 policy wrappers per run, the differential baseline for
+                 test_pool.ml *)
+              let sim = Sim.create ?max_steps ~obs:dobs ~n () in
+              setup sim;
+              let crashes =
+                if spec.crash_faults then gen_crashes rng n max_crash_steps else []
+              in
+              let fbuf = Vec.create () in
+              let pol =
+                Policy.with_crashes crashes (Policy.capture fbuf (base_policy spec.kind rng n))
+              in
+              (try
+                 Sim.run sim pol;
+                 Vec.push pending
+                   {
+                     pd_run = gidx;
+                     pd_seed = run_seed;
+                     pd_schedule = Vec.to_array fbuf;
+                     pd_crashes = crashes;
+                     pd_check = (fun () -> check sim);
+                     pd_done = ignore;
+                   }
+               with
+              | Violation msg -> record_violation gidx run_seed (Vec.to_array fbuf) crashes msg
+              | Skip _ | Sim.Livelock _ -> part.p_skipped <- part.p_skipped + 1);
+              Vec.push part.p_steps (float_of_int (Sim.total_steps sim));
+              let c =
+                schedule_contention_into ~n ~first:sc_first ~last:sc_last ~count:sc_count fbuf
+              in
+              if c > part.p_max_cont then part.p_max_cont <- c;
+              part.p_turns <- part.p_turns + Vec.length fbuf
+            end;
+            part.p_runs <- part.p_runs + 1;
+            if Vec.length pending >= chunk_size then flush ()
+          done;
+          flush ();
+          Pool.merge_stats ~into:part.p_pool (Pool.stats sim_pool);
+          part.p_wall <- now () -. t0;
+          part
         in
+        let parts =
+          if gen_domains <= 1 then [| run_range ~dom:0 ~lo:0 ~hi:runs () |]
+          else begin
+            let base = runs / gen_domains and rem = runs mod gen_domains in
+            let bounds =
+              Array.init gen_domains (fun d ->
+                  let lo = (d * base) + min d rem in
+                  (lo, lo + base + if d < rem then 1 else 0))
+            in
+            (* [gen_domains] fixes the seed streams and batch split; the
+               OS domains actually spawned are capped at the runtime's
+               recommendation (oversubscribed domains serialize on every
+               minor-GC barrier). Each worker runs its streams
+               sequentially into distinct slots, so the mapping of
+               streams to workers cannot change any result. *)
+            let workers =
+              min gen_domains (max 1 (Domain.recommended_domain_count ()))
+            in
+            let slots = Array.make gen_domains None in
+            let run_streams w () =
+              let d = ref w in
+              while !d < gen_domains do
+                let lo, hi = bounds.(!d) in
+                slots.(!d) <- Some (run_range ~dom:!d ~lo ~hi ());
+                d := !d + workers
+              done
+            in
+            let handles =
+              Array.init (workers - 1) (fun i -> Domain.spawn (run_streams (i + 1)))
+            in
+            run_streams 0 ();
+            Array.iter Domain.join handles;
+            Array.map (function Some p -> p | None -> assert false) slots
+          end
+        in
+        (* deterministic merge: domain-index order for obs sinks and pool
+           stats, global run order for violations and first-failure *)
+        if gen_domains > 1 && Scs_obs.Obs.enabled obs then
+          Array.iter (fun p -> Scs_obs.Obs.merge_into ~into:obs p.p_obs) parts;
+        Array.iter (fun p -> Pool.merge_stats ~into:pool_totals p.p_pool) parts;
+        let viols =
+          Array.to_list parts
+          |> List.concat_map (fun p -> List.rev p.p_viol)
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> List.map snd
+        in
+        per_policy_viols := viols :: !per_policy_viols;
+        let first =
+          Array.fold_left
+            (fun acc p ->
+              match (acc, p.p_first) with
+              | None, f | f, None -> f
+              | Some (r1, w1), Some (r2, _) when r1 <= r2 -> Some (r1, w1)
+              | _, f -> f)
+            None parts
+        in
+        let steps_arr =
+          Array.concat (Array.to_list (Array.map (fun p -> Vec.to_array p.p_steps) parts))
+        in
+        let pct p = if Array.length steps_arr = 0 then 0.0 else Stats.percentile steps_arr p in
+        let sum f = Array.fold_left (fun acc p -> acc + f p) 0 parts in
+        let sumf f = Array.fold_left (fun acc p -> acc +. f p) 0.0 parts in
+        let maxi f = Array.fold_left (fun acc p -> max acc (f p)) 0 parts in
         {
           s_policy = name;
-          s_runs = !nrun;
-          s_turns = !nturn;
-          s_violations = !sviol;
-          s_skipped = !nskip;
+          s_runs = sum (fun p -> p.p_runs);
+          s_turns = sum (fun p -> p.p_turns);
+          s_violations = sum (fun p -> List.length p.p_viol);
+          s_skipped = sum (fun p -> p.p_skipped);
           s_checked_large = Atomic.get large_counter - large0;
-          s_check_wall = !check_wall;
+          s_check_wall = sumf (fun p -> p.p_check_wall);
+          s_gen_wall =
+            Array.fold_left (fun acc p -> Float.max acc (p.p_wall -. p.p_flush_wall)) 0.0 parts;
           s_wall = now () -. t0;
-          s_first_failure = !first;
+          s_first_failure = first;
           s_step_p50 = pct 50.0;
           s_step_p99 = pct 99.0;
-          s_max_contention = !max_cont;
+          s_max_contention = maxi (fun p -> p.p_max_cont);
         })
       policies
   in
@@ -307,7 +489,8 @@ let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
     r_n = n;
     r_seed = seed;
     r_stats = stats;
-    r_violations = List.rev !violations;
+    r_violations = List.concat (List.rev !per_policy_viols);
+    r_pool = pool_totals;
   }
 
 (* {1 Repro artifacts} *)

@@ -70,6 +70,11 @@ type policy_stats = {
   s_check_wall : float;
       (** seconds spent inside [check], summed across runs (and across
           verification domains, so it can exceed elapsed wall time) *)
+  s_gen_wall : float;
+      (** wall-clock seconds spent generating schedules: the policy's
+          loop time minus its verification flushes, taken as the
+          critical path (max) over gen domains — what the pooling and
+          allocation work optimises, reported as [gen/s] *)
   s_wall : float;
   s_first_failure : (int * float) option;
       (** run index and wall-clock seconds of the first violation *)
@@ -92,9 +97,22 @@ type report = {
   r_seed : int;
   r_stats : policy_stats list;
   r_violations : violation list;
+  r_pool : Pool.stats;
+      (** simulator-pool totals across all policies and gen domains:
+          resets vs fresh creates and peak arena sizes (all-zero under
+          [~pool:false]) *)
 }
 
 val schedules_per_sec : policy_stats -> float
+(** Runs over total elapsed wall: generation + verification. *)
+
+val gen_per_sec : policy_stats -> float
+(** Runs over {!policy_stats.s_gen_wall} — schedule-generation
+    throughput alone. *)
+
+val check_per_sec : policy_stats -> float
+(** Runs over {!policy_stats.s_check_wall} — verification throughput
+    alone (CPU-seconds across check domains). *)
 
 (** {1 Engine} *)
 
@@ -107,6 +125,8 @@ val run :
   ?max_steps:int ->
   ?max_crash_steps:int ->
   ?check_domains:int ->
+  ?gen_domains:int ->
+  ?pool:bool ->
   ?obs:Scs_obs.Obs.t ->
   workload:string ->
   n:int ->
@@ -136,6 +156,26 @@ val run :
     a policy may execute up to one chunk (16 × domains runs) beyond its
     [max_violations] stop, and [s_first_failure] timing reflects chunked
     verification.
+
+    [gen_domains] (default 1) fans schedule {e generation} out: the run
+    range is split into contiguous per-domain chunks, each generated on
+    its own domain with its own seed stream, pooled simulator and (when
+    [obs] is enabled) private obs sink; reports, failure lists and obs
+    sinks are merged deterministically at join (domain-index order for
+    sinks, global run order for violations). Domain 0's seed stream is
+    the legacy sequential stream, so [gen_domains = 1] reproduces the
+    single-domain engine run for run; higher values explore different
+    (per-domain) seed streams. Composes with [check_domains], which then
+    applies within each gen domain. [max_violations] becomes a shared
+    budget across gen domains.
+
+    [pool] (default [true]) reuses one pooled simulator per gen domain
+    across runs ({!Pool}): the simulator is rewound with {!Sim.clear}
+    and re-[setup] instead of reallocated, and the schedule loop runs
+    the allocation-free fast-policy protocol ({!Policy.drive}).
+    Verdicts, schedules and obs counters are bit-identical to
+    [~pool:false] (the fresh-simulator reference path, kept for
+    differential testing — see test_pool.ml).
 
     [obs] (default {!Scs_obs.Obs.null}) is attached to every run's
     simulator, aggregating counters across the whole campaign; it

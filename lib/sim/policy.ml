@@ -147,3 +147,202 @@ let capture buf inner sim =
   | Sim.Sched p as d ->
       Vec.push buf p;
       d
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-free (fast) protocol                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Fast policies return a pid, or -1 for Stop, and consult the runnable
+   set through the simulator's bitmask — no per-turn list or [decision]
+   allocation. Each randomized fast policy consumes its Rng stream in
+   exactly the same order and quantity as its boxed counterpart above,
+   which is what makes pooled fast runs bit-identical to fresh boxed
+   runs (checked by test_pool.ml). *)
+
+type fast = Sim.t -> int
+
+let stop = -1
+
+let of_fast f sim =
+  let p = f sim in
+  if p >= 0 then Sim.Sched p else Sim.Stop
+
+let to_fast t sim = match t sim with Sim.Sched p -> p | Sim.Stop -> -1
+
+let fast_random rng sim =
+  let c = Sim.runnable_count sim in
+  if c = 0 then stop else Sim.nth_runnable sim (Rng.int rng c)
+
+let fast_weighted rng weights sim =
+  (* Mirrors [weighted]: filter in ascending pid order, sum in the same
+     order (float addition is order-sensitive), one [Rng.float] draw iff
+     some pid qualifies, last qualifying pid as the fallback. *)
+  let nw = Array.length weights in
+  let bits = Sim.runnable_bits sim in
+  let total = ref 0.0 and count = ref 0 and last = ref (-1) in
+  let b = ref bits and p = ref 0 in
+  while !b <> 0 do
+    if !b land 1 = 1 && !p < nw && weights.(!p) > 0.0 then begin
+      total := !total +. weights.(!p);
+      incr count;
+      last := !p
+    end;
+    b := !b lsr 1;
+    incr p
+  done;
+  if !count = 0 then stop
+  else begin
+    let x = Rng.float rng *. !total in
+    let chosen = ref (-1) in
+    let acc = ref 0.0 and b = ref bits and p = ref 0 in
+    while !chosen < 0 do
+      if !b land 1 = 1 && !p < nw && weights.(!p) > 0.0 then
+        if !p = !last then chosen := !p
+        else begin
+          acc := !acc +. weights.(!p);
+          if x < !acc then chosen := !p
+        end;
+      b := !b lsr 1;
+      incr p
+    done;
+    !chosen
+  end
+
+let fast_sticky rng ~switch_prob =
+  let current = ref (-1) in
+  fun sim ->
+    let cur = !current in
+    if cur >= 0 && Sim.is_runnable sim cur && not (Rng.bernoulli rng switch_prob) then cur
+    else begin
+      let c = Sim.runnable_count sim in
+      if c = 0 then stop
+      else begin
+        let p = Sim.nth_runnable sim (Rng.int rng c) in
+        current := p;
+        p
+      end
+    end
+
+let fast_pct rng ~k ~depth =
+  let prio = ref [||] in
+  let change_at = ref [] in
+  let turn = ref 0 in
+  fun sim ->
+    if Array.length !prio = 0 then begin
+      let n = Sim.n sim in
+      let a = Array.init n (fun i -> i + 1) in
+      Rng.shuffle rng a;
+      prio := a;
+      change_at := List.init (max 0 (k - 1)) (fun _ -> 1 + Rng.int rng (max 1 depth))
+    end;
+    let bits = Sim.runnable_bits sim in
+    if bits = 0 then stop
+    else begin
+      incr turn;
+      let prio = !prio in
+      (* first maximum in ascending pid order = the boxed fold over the
+         runnable list *)
+      let best = ref (-1) and b = ref bits and p = ref 0 in
+      while !b <> 0 do
+        if !b land 1 = 1 && (!best < 0 || prio.(!p) > prio.(!best)) then best := !p;
+        b := !b lsr 1;
+        incr p
+      done;
+      if List.mem !turn !change_at then prio.(!best) <- - !turn;
+      !best
+    end
+
+let fast_solo pid sim = if Sim.is_runnable sim pid then pid else stop
+
+let fast_sequential () =
+ fun sim ->
+  let bits = Sim.runnable_bits sim in
+  if bits = 0 then stop
+  else begin
+    (* index of the lowest set bit *)
+    let b = ref bits and p = ref 0 in
+    while !b land 1 = 0 do
+      b := !b lsr 1;
+      incr p
+    done;
+    !p
+  end
+
+let fast_round_robin () =
+  let last = ref (-1) in
+  fun sim ->
+    let n = Sim.n sim in
+    let rec find k =
+      if k > n then stop
+      else begin
+        let cand = (!last + k) mod n in
+        if Sim.is_runnable sim cand then begin
+          last := cand;
+          cand
+        end
+        else find (k + 1)
+      end
+    in
+    find 1
+
+let fast_scripted ?(strict = false) script =
+  let i = ref 0 in
+  fun sim ->
+    let rec go () =
+      if !i >= Array.length script then stop
+      else begin
+        let p = script.(!i) in
+        incr i;
+        if Sim.is_runnable sim p then p
+        else if strict then raise (Replay_drift p)
+        else go ()
+      end
+    in
+    go ()
+
+(* ------------------------------------------------------------------ *)
+(* Crash plans and the flat drive loop                                 *)
+(* ------------------------------------------------------------------ *)
+
+type crash_plan = { mutable cp_left : int; cp_at : int array }
+
+let crash_plan ~n = { cp_left = 0; cp_at = Array.make n max_int }
+
+let arm_crashes plan crashes =
+  Array.fill plan.cp_at 0 (Array.length plan.cp_at) max_int;
+  plan.cp_left <- 0;
+  List.iter
+    (fun (p, k) ->
+      if plan.cp_at.(p) = max_int then plan.cp_left <- plan.cp_left + 1;
+      plan.cp_at.(p) <- min plan.cp_at.(p) k)
+    crashes
+
+let drive ?capture ?crashes sim fast =
+  let ms = Sim.max_steps sim in
+  let rec loop () =
+    if Sim.clock sim > ms then
+      raise
+        (Sim.Livelock (Printf.sprintf "step budget %d exhausted at clock %d" ms (Sim.clock sim)));
+    if Sim.runnable_bits sim <> 0 then begin
+      (* fire due crashes in ascending pid order, exactly as the
+         [with_crashes] wrapper's list filter did *)
+      (match crashes with
+      | Some plan when plan.cp_left > 0 ->
+          let at = plan.cp_at in
+          for p = 0 to Array.length at - 1 do
+            if Sim.steps_of sim p >= Array.unsafe_get at p then begin
+              Sim.crash sim p;
+              Array.unsafe_set at p max_int;
+              plan.cp_left <- plan.cp_left - 1
+            end
+          done
+      | _ -> ());
+      let p = fast sim in
+      if p >= 0 then begin
+        (match capture with Some buf -> Vec.push buf p | None -> ());
+        Sim.step sim p;
+        loop ()
+      end
+    end
+  in
+  loop ()

@@ -69,3 +69,48 @@ val capture : Sim.pid Scs_util.Vec.t -> t -> t
 
 val pick_runnable : Sim.t -> Sim.pid option
 (** Smallest runnable pid, if any (helper for custom policies). *)
+
+(** {1 Allocation-free (fast) protocol}
+
+    A fast policy returns the pid to schedule, or a negative int to
+    stop, and reads the runnable set through {!Sim.runnable_bits} — no
+    per-turn list or [decision] allocation. Every randomized fast
+    policy consumes its Rng stream in exactly the same order and
+    quantity as its boxed counterpart, so a fast run is bit-identical
+    (schedule, verdict, obs counters) to the equivalent boxed run —
+    the property test_pool.ml checks differentially. *)
+
+type fast = Sim.t -> int
+
+val of_fast : fast -> t
+val to_fast : t -> fast
+
+val fast_random : Scs_util.Rng.t -> fast
+val fast_weighted : Scs_util.Rng.t -> float array -> fast
+val fast_sticky : Scs_util.Rng.t -> switch_prob:float -> fast
+val fast_pct : Scs_util.Rng.t -> k:int -> depth:int -> fast
+val fast_solo : Sim.pid -> fast
+val fast_sequential : unit -> fast
+val fast_round_robin : unit -> fast
+val fast_scripted : ?strict:bool -> Sim.pid array -> fast
+
+(** {2 Crash plans and the flat drive loop} *)
+
+type crash_plan
+(** Preallocated crash-injection state (an [int array] of per-pid step
+    thresholds), reusable across runs via {!arm_crashes} — the
+    allocation-free counterpart of {!with_crashes}. *)
+
+val crash_plan : n:int -> crash_plan
+
+val arm_crashes : crash_plan -> (Sim.pid * int) list -> unit
+(** Load a crash list ([(p, k)]: crash [p] once it has taken [k] steps)
+    into the plan, replacing whatever was armed before. *)
+
+val drive : ?capture:Sim.pid Scs_util.Vec.t -> ?crashes:crash_plan -> Sim.t -> fast -> unit
+(** Flat scheduling loop: semantically identical to
+    [Sim.run sim (with_crashes cs (capture buf (of_fast policy)))] but
+    with the wrapper closures and per-turn allocations compiled away —
+    crashes fire from the plan's int array in ascending pid order,
+    scheduled pids are pushed into [capture] before each step. Raises
+    {!Sim.Livelock} exactly as {!Sim.run} does. *)

@@ -10,6 +10,11 @@ type pending = Pending : 'r Op.t * ('r, unit) Effect.Deep.continuation -> pendin
 type status =
   | Idle  (** no code installed *)
   | Ready of (unit -> unit)
+  | Parked of (unit, unit) Effect.Deep.continuation
+      (** re-armed from a fiber that completed its previous run: resuming
+          the continuation re-enters the spawn loop and runs the body
+          again on the same fiber stack, sparing {!reset} a fresh
+          [match_with] per process per run *)
   | Blocked of pending
   | Done
   | Crashed
@@ -19,12 +24,31 @@ type t = {
   max_steps : int;
   mutable clock : int;
   status : status array;
+  mutable runnable_bits : int;
+      (** bit [pid] set iff [status.(pid)] is [Ready _ | Blocked _]; the
+          runnable set as a word-sized mask so the scheduler hot path never
+          builds a list. Forces [n <= 62]. *)
+  code : (unit -> unit) option array;
+      (** code installed by {!spawn}, remembered so {!reset} can re-arm
+          the fibers without re-running workload setup *)
+  park : (unit, unit) Effect.Deep.continuation option array;
+      (** continuation captured when a fiber finishes a run (at the
+          [End_run] perform of the spawn loop); consumed by the next
+          {!reset} to re-arm the process as [Parked] on its existing
+          fiber stack instead of allocating a new one *)
   steps : int array;
   rmws : int array;
   raw_fences : int array;
   dirty_write : bool array;  (** wrote since last fence-inducing event *)
   mutable next_obj : int;
   mutable rmw_objs : int;
+  obj_resets : (unit -> unit) Vec.t;
+      (** one thunk per allocated object, rewinding it to its creation
+          value; replayed (up to the snapshot mark) by {!reset} *)
+  mutable snap_objs : int;
+  mutable snap_rmws : int;
+  mutable snap_resets : int;
+  mutable snapped : bool;
   mutable record_trace : bool;
   trace : Mem_event.t Vec.t;
   pause_obj : int;
@@ -34,7 +58,16 @@ type t = {
 
 type _ Effect.t += Mem : 'r Op.t -> 'r Effect.t
 
+(* Performed by the spawn loop when a fiber's body returns; the handler
+   parks the continuation for reuse by the next [reset]. Never escapes
+   this module: fibers only ever run under {!handler}. *)
+type _ Effect.t += End_run : unit Effect.t
+
+let max_processes = 62
+
 let create ?(max_steps = 1_000_000) ?(obs = Scs_obs.Obs.null) ~n () =
+  if n > max_processes then
+    invalid_arg "Sim.create: at most 62 processes (runnable set is a word-sized bitmask)";
   if Scs_obs.Obs.enabled obs && Scs_obs.Obs.n obs < n then
     invalid_arg "Sim.create: obs sink sized for fewer processes than n";
   {
@@ -42,12 +75,20 @@ let create ?(max_steps = 1_000_000) ?(obs = Scs_obs.Obs.null) ~n () =
     max_steps;
     clock = 0;
     status = Array.make n Idle;
+    runnable_bits = 0;
+    code = Array.make n None;
+    park = Array.make n None;
     steps = Array.make n 0;
     rmws = Array.make n 0;
     raw_fences = Array.make n 0;
     dirty_write = Array.make n false;
     next_obj = 1;
     rmw_objs = 0;
+    obj_resets = Vec.create ();
+    snap_objs = 1;
+    snap_rmws = 0;
+    snap_resets = 0;
+    snapped = false;
     record_trace = false;
     trace = Vec.create ();
     pause_obj = 0;
@@ -57,6 +98,7 @@ let create ?(max_steps = 1_000_000) ?(obs = Scs_obs.Obs.null) ~n () =
 
 let n t = t.n
 let clock t = t.clock
+let max_steps t = t.max_steps
 
 (* ------------------------------------------------------------------ *)
 (* Shared objects                                                      *)
@@ -69,7 +111,10 @@ let fresh_obj t =
 
 type 'a reg = { mutable rv : 'a; r_id : int; r_name : string }
 
-let reg t ~name v = { rv = v; r_id = fresh_obj t; r_name = name }
+let reg t ~name v =
+  let r = { rv = v; r_id = fresh_obj t; r_name = name } in
+  Vec.push t.obj_resets (fun () -> r.rv <- v);
+  r
 
 let read r =
   Effect.perform
@@ -90,7 +135,9 @@ type tas_obj = { mutable t_set : bool; t_id : int; t_name : string }
 
 let tas_obj t ~name () =
   t.rmw_objs <- t.rmw_objs + 1;
-  { t_set = false; t_id = fresh_obj t; t_name = name }
+  let o = { t_set = false; t_id = fresh_obj t; t_name = name } in
+  Vec.push t.obj_resets (fun () -> o.t_set <- false);
+  o
 
 let test_and_set o =
   Effect.perform
@@ -129,7 +176,9 @@ type 'a cas_obj = { mutable c_v : 'a; c_id : int; c_name : string }
 
 let cas_obj t ~name v =
   t.rmw_objs <- t.rmw_objs + 1;
-  { c_v = v; c_id = fresh_obj t; c_name = name }
+  let o = { c_v = v; c_id = fresh_obj t; c_name = name } in
+  Vec.push t.obj_resets (fun () -> o.c_v <- v);
+  o
 
 let cas_read o =
   Effect.perform
@@ -156,7 +205,9 @@ type fai_obj = { mutable f_v : int; f_id : int; f_name : string }
 
 let fai_obj t ~name v =
   t.rmw_objs <- t.rmw_objs + 1;
-  { f_v = v; f_id = fresh_obj t; f_name = name }
+  let o = { f_v = v; f_id = fresh_obj t; f_name = name } in
+  Vec.push t.obj_resets (fun () -> o.f_v <- v);
+  o
 
 let fetch_and_inc o =
   Effect.perform
@@ -181,7 +232,9 @@ type 'a swap_obj = { mutable s_v : 'a; s_id : int; s_name : string }
 
 let swap_obj t ~name v =
   t.rmw_objs <- t.rmw_objs + 1;
-  { s_v = v; s_id = fresh_obj t; s_name = name }
+  let o = { s_v = v; s_id = fresh_obj t; s_name = name } in
+  Vec.push t.obj_resets (fun () -> o.s_v <- v);
+  o
 
 let swap o v =
   Effect.perform
@@ -210,12 +263,21 @@ let pause t =
 (* Scheduling                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* The runnable bitmask is maintained at every status write. During a
+   turn the fiber's status briefly reads [Done] (the placeholder written
+   by {!step}) while its bit is still set; no policy observes that
+   window because policies only run between turns. *)
+
 let handler t pid : (unit, unit) Effect.Deep.handler =
   {
-    retc = (fun () -> t.status.(pid) <- Done);
+    retc =
+      (fun () ->
+        t.status.(pid) <- Done;
+        t.runnable_bits <- t.runnable_bits land lnot (1 lsl pid));
     exnc =
       (fun e ->
         t.status.(pid) <- Done;
+        t.runnable_bits <- t.runnable_bits land lnot (1 lsl pid);
         raise (Process_failure (pid, e)));
     effc =
       (fun (type a) (eff : a Effect.t) ->
@@ -224,39 +286,95 @@ let handler t pid : (unit, unit) Effect.Deep.handler =
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
                 t.status.(pid) <- Blocked (Pending (op, k)))
+        | End_run ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                t.park.(pid) <- Some k;
+                t.status.(pid) <- Done;
+                t.runnable_bits <- t.runnable_bits land lnot (1 lsl pid))
         | _ -> None);
   }
 
 let spawn t pid f =
   if pid < 0 || pid >= t.n then invalid_arg "Sim.spawn: pid out of range";
   match t.status.(pid) with
-  | Idle -> t.status.(pid) <- Ready f
+  | Idle ->
+      (* The loop keeps the fiber alive past the body's return: each
+         completed run parks at [End_run], and resuming re-runs the body
+         on the same stack. Observationally identical to a fresh fiber —
+         the first turn after (re-)arming executes up to the body's
+         first memory op without ticking the clock. Parking is gated on
+         [snapped] (the pooling opt-in): a one-shot simulator's fibers
+         return normally through [retc], handing their stack straight
+         back to the runtime's cache instead of pinning it until the
+         simulator is collected. *)
+      let g () =
+        let rec loop () =
+          f ();
+          if t.snapped then begin
+            Effect.perform End_run;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      t.status.(pid) <- Ready g;
+      t.runnable_bits <- t.runnable_bits lor (1 lsl pid);
+      t.code.(pid) <- Some g
   | _ -> invalid_arg "Sim.spawn: process already spawned"
 
-let is_runnable t pid =
-  match t.status.(pid) with Ready _ | Blocked _ -> true | Idle | Done | Crashed -> false
+let is_runnable t pid = t.runnable_bits land (1 lsl pid) <> 0
 
 type footprint = Local | Access of int * Op.kind
 
 let footprint t pid =
   match t.status.(pid) with
   | Blocked (Pending (op, _)) -> Access (op.Op.obj, op.Op.kind)
-  | Ready _ | Idle | Done | Crashed -> Local
+  | Ready _ | Parked _ | Idle | Done | Crashed -> Local
 
 let footprints_commute a b =
   match (a, b) with
   | Local, _ | _, Local -> true
   | Access (o1, k1), Access (o2, k2) -> o1 <> o2 || (k1 = Op.Read && k2 = Op.Read)
 
+(* Footprints packed into an int — [-1] for [Local], else
+   [obj * 4 + kind] — so {!Explore}'s conflict checks allocate nothing. *)
+
+let kind_code : Op.kind -> int = function Op.Read -> 0 | Op.Write -> 1 | Op.Rmw -> 2
+
+let footprint_code t pid =
+  match t.status.(pid) with
+  | Blocked (Pending (op, _)) -> (op.Op.obj * 4) + kind_code op.Op.kind
+  | Ready _ | Parked _ | Idle | Done | Crashed -> -1
+
+let codes_commute a b =
+  a < 0 || b < 0 || a lsr 2 <> b lsr 2 || (a land 3 = 0 && b land 3 = 0)
+
 let runnable t =
   let rec go i acc = if i < 0 then acc else go (i - 1) (if is_runnable t i then i :: acc else acc) in
   go (t.n - 1) []
 
-let finished t pid = match t.status.(pid) with Done | Crashed -> true | _ -> false
+let runnable_bits t = t.runnable_bits
 
-let all_done t =
-  let rec go i = i >= t.n || ((not (is_runnable t i)) && go (i + 1)) in
-  go 0
+let runnable_count t =
+  let c = ref 0 and b = ref t.runnable_bits in
+  while !b <> 0 do
+    b := !b land (!b - 1);
+    incr c
+  done;
+  !c
+
+let nth_runnable t k =
+  let b = ref t.runnable_bits and k = ref k and pid = ref 0 in
+  while !b land 1 = 0 || !k > 0 do
+    if !b land 1 = 1 then decr k;
+    b := !b lsr 1;
+    incr pid
+  done;
+  !pid
+
+let finished t pid = match t.status.(pid) with Done | Crashed -> true | _ -> false
+let all_done t = t.runnable_bits = 0
 
 let account t pid (kind : Op.kind) =
   t.clock <- t.clock + 1;
@@ -300,6 +418,11 @@ let step t pid =
       t.status.(pid) <- Done;
       (* will be overwritten by the handler or retc *)
       Effect.Deep.match_with f () (handler t pid)
+  | Parked k ->
+      t.status.(pid) <- Done;
+      (* resumes the spawn loop: runs the body up to its first memory op,
+         exactly as starting a Ready fiber does *)
+      Effect.Deep.continue k ()
   | Blocked (Pending (op, k)) ->
       t.status.(pid) <- Done;
       account t pid op.Op.kind;
@@ -310,10 +433,11 @@ let step t pid =
 let crash t pid =
   match t.status.(pid) with
   | Idle | Done | Crashed -> ()
-  | Ready _ | Blocked _ ->
+  | Ready _ | Parked _ | Blocked _ ->
       (* The pending continuation is abandoned: the process takes no more
          steps, exactly as a crash failure in the model. *)
       t.status.(pid) <- Crashed;
+      t.runnable_bits <- t.runnable_bits land lnot (1 lsl pid);
       if t.obs_on then Scs_obs.Obs.crash t.obs ~pid
 
 type decision = Sched of pid | Stop
@@ -331,6 +455,95 @@ let run t policy =
     end
   in
   loop ()
+
+let run_fast t policy =
+  let rec loop () =
+    if t.clock > t.max_steps then
+      raise (Livelock (Printf.sprintf "step budget %d exhausted at clock %d" t.max_steps t.clock));
+    if t.runnable_bits <> 0 then begin
+      let pid = policy t in
+      if pid >= 0 then begin
+        step t pid;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Pooling: snapshot / reset / clear                                   *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot t =
+  Array.iter
+    (fun st ->
+      match st with
+      | Idle | Ready _ -> ()
+      | Parked _ | Blocked _ | Done | Crashed ->
+          invalid_arg "Sim.snapshot: simulator already ran (snapshot must precede the first step)")
+    t.status;
+  t.snap_objs <- t.next_obj;
+  t.snap_rmws <- t.rmw_objs;
+  t.snap_resets <- Vec.length t.obj_resets;
+  t.snapped <- true
+
+let reset t =
+  if not t.snapped then invalid_arg "Sim.reset: no snapshot taken";
+  (* Rewind every snapshotted object to its creation value; objects
+     allocated after the snapshot (from inside fibers) are dropped. *)
+  for i = 0 to t.snap_resets - 1 do
+    (Vec.get t.obj_resets i) ()
+  done;
+  Vec.truncate t.obj_resets t.snap_resets;
+  t.next_obj <- t.snap_objs;
+  t.rmw_objs <- t.snap_rmws;
+  (* Re-arm the fibers: a process that completed its last run parked its
+     continuation, so resume it on the same fiber stack; a process left
+     mid-run (livelock abort, crash, policy stop) gets a fresh fiber
+     from the remembered spawn code. A [Parked] process that was never
+     scheduled last run is still armed — keep it. *)
+  t.runnable_bits <- 0;
+  for pid = 0 to t.n - 1 do
+    (match t.park.(pid) with
+    | Some k ->
+        t.park.(pid) <- None;
+        t.status.(pid) <- Parked k
+    | None -> (
+        match t.status.(pid) with
+        | Parked _ -> ()
+        | _ -> (
+            match t.code.(pid) with
+            | Some f -> t.status.(pid) <- Ready f
+            | None -> t.status.(pid) <- Idle)));
+    match t.status.(pid) with
+    | Ready _ | Parked _ -> t.runnable_bits <- t.runnable_bits lor (1 lsl pid)
+    | _ -> ()
+  done;
+  t.clock <- 0;
+  Array.fill t.steps 0 t.n 0;
+  Array.fill t.rmws 0 t.n 0;
+  Array.fill t.raw_fences 0 t.n 0;
+  Array.fill t.dirty_write 0 t.n false;
+  Vec.clear t.trace
+
+let clear t =
+  Array.fill t.status 0 t.n Idle;
+  Array.fill t.code 0 t.n None;
+  Array.fill t.park 0 t.n None;
+  t.runnable_bits <- 0;
+  t.clock <- 0;
+  Array.fill t.steps 0 t.n 0;
+  Array.fill t.rmws 0 t.n 0;
+  Array.fill t.raw_fences 0 t.n 0;
+  Array.fill t.dirty_write 0 t.n false;
+  t.next_obj <- 1;
+  t.rmw_objs <- 0;
+  Vec.clear t.obj_resets;
+  t.snap_objs <- 1;
+  t.snap_rmws <- 0;
+  t.snap_resets <- 0;
+  t.snapped <- false;
+  Vec.clear t.trace
 
 (* ------------------------------------------------------------------ *)
 (* Accounting                                                          *)

@@ -23,11 +23,14 @@ exception Livelock of string
 exception Process_failure of pid * exn
 (** An exception escaped a process fiber. *)
 
+val max_processes : int
+(** Hard cap on [n] (62): the runnable set is a word-sized bitmask. *)
+
 val create : ?max_steps:int -> ?obs:Scs_obs.Obs.t -> n:int -> unit -> t
-(** [create ~n ()] builds a simulator for processes [0 .. n-1].
-    [max_steps] (default 1_000_000) bounds total memory steps to catch
-    livelocks under adversarial schedules. [obs] (default
-    {!Scs_obs.Obs.null}) is an observability sink: every executed
+(** [create ~n ()] builds a simulator for processes [0 .. n-1]
+    ([n <= max_processes]). [max_steps] (default 1_000_000) bounds total
+    memory steps to catch livelocks under adversarial schedules. [obs]
+    (default {!Scs_obs.Obs.null}) is an observability sink: every executed
     memory step and every injected crash is reported to it, so its
     step clock coincides with {!clock}. A disabled sink costs one
     cached boolean test per step — tracing stays off the hot path. *)
@@ -35,6 +38,9 @@ val create : ?max_steps:int -> ?obs:Scs_obs.Obs.t -> n:int -> unit -> t
 val n : t -> int
 val clock : t -> int
 (** Total memory steps executed so far (the global logical time). *)
+
+val max_steps : t -> int
+(** The step budget passed at {!create}. *)
 
 (** {1 Shared objects}
 
@@ -89,6 +95,18 @@ val spawn : t -> pid -> (unit -> unit) -> unit
 val runnable : t -> pid list
 (** Pids that can take a step now (spawned, not finished, not crashed). *)
 
+val runnable_bits : t -> int
+(** The runnable set as a bitmask (bit [pid] set iff [pid] is runnable).
+    O(1), no allocation — the hot-path view of {!runnable}. *)
+
+val runnable_count : t -> int
+(** Number of runnable processes. O(popcount), no allocation. *)
+
+val nth_runnable : t -> int -> pid
+(** [nth_runnable t k] is the [k]-th runnable pid in ascending order,
+    i.e. [List.nth (runnable t) k] without building the list. The caller
+    must ensure [0 <= k < runnable_count t]. *)
+
 val is_runnable : t -> pid -> bool
 val finished : t -> pid -> bool
 val all_done : t -> bool
@@ -115,6 +133,13 @@ val footprints_commute : footprint -> footprint -> bool
     and at least one access is a write or an RMW. [Local] turns commute with
     everything. *)
 
+val footprint_code : t -> pid -> int
+(** {!footprint} packed into an int ([-1] for [Local], otherwise
+    [obj * 4 + kind]) so conflict checks allocate nothing. *)
+
+val codes_commute : int -> int -> bool
+(** {!footprints_commute} on packed codes. *)
+
 val step : t -> pid -> unit
 (** Let [pid] take one scheduler turn: execute its pending memory operation
     (if any) and run it up to its next operation or completion. The first
@@ -129,6 +154,51 @@ type decision = Sched of pid | Stop
 val run : t -> (t -> decision) -> unit
 (** Drive the simulation with a policy until every process is done, the
     policy answers [Stop], or the step budget trips ({!Livelock}). *)
+
+val run_fast : t -> (t -> int) -> unit
+(** Like {!run} but with the allocation-free policy protocol: the policy
+    returns a runnable pid, or a negative int to stop. Semantically
+    identical to {!run} with [Sched]/[Stop] boxing removed. *)
+
+(** {1 Pooling}
+
+    A simulator's arenas (status/counter arrays, object-reset thunks,
+    trace buffer) are reusable across runs, so harness cost is paid once
+    per pooled instance instead of once per schedule.
+
+    Two rewind points are offered: {!reset} rewinds to the post-[setup]
+    snapshot (objects restored to their creation values, fibers re-armed
+    from their spawned code — for drivers whose workload state lives
+    entirely in simulator objects), while {!clear} rewinds all the way to
+    the post-[create] empty state keeping only array/buffer capacity (for
+    generic workloads whose [setup] captures external mutable state and
+    must therefore re-run per schedule). *)
+
+val snapshot : t -> unit
+(** Mark the current state — spawned code and allocated objects — as the
+    reset point. Must be called before the first step (every process
+    still [Idle] or freshly spawned); raises [Invalid_argument]
+    otherwise. *)
+
+val reset : t -> unit
+(** Rewind to the {!snapshot} point: every snapshotted object back to its
+    creation value, objects allocated after the snapshot dropped, fibers
+    re-armed from their spawn code, clock/step/fence counters zeroed and
+    the trace buffer cleared (capacity kept). The obs sink is not touched
+    — it keeps accumulating across runs, as when driving fresh
+    simulators. Safe after any outcome, including {!Livelock} and
+    {!Process_failure} (abandoned continuations are garbage-collected).
+    Raises [Invalid_argument] if no snapshot was taken.
+
+    Soundness caveat: [reset] rewinds simulator-owned state only. Spawn
+    code whose closure mutates state outside the simulator (recorders,
+    rngs, accumulators) must be re-armed by the caller. *)
+
+val clear : t -> unit
+(** Rewind to the post-[create] state: no processes spawned, no objects,
+    counters zeroed, any snapshot forgotten — but every arena keeps its
+    capacity, so a subsequent [setup]+run allocates almost nothing. The
+    obs sink is not touched. *)
 
 (** {1 Accounting} *)
 

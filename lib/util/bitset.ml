@@ -35,6 +35,8 @@ let test t i =
 
 let copy t = { data = Bytes.copy t.data }
 
+let reset t = Bytes.fill t.data 0 (Bytes.length t.data) '\000'
+
 (* index just past the last nonzero byte: the significant prefix *)
 let significant data =
   let n = ref (Bytes.length data) in

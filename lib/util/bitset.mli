@@ -21,6 +21,9 @@ val clear : t -> int -> unit
 val test : t -> int -> bool
 val copy : t -> t
 
+val reset : t -> unit
+(** Clear every bit, keeping the allocated capacity (arena reuse). *)
+
 val equal : t -> t -> bool
 (** Bit-for-bit equality, ignoring trailing zeros / capacity. *)
 

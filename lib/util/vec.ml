@@ -38,6 +38,18 @@ let set t i x =
 
 let clear t = t.len <- 0
 
+let truncate t len =
+  if len < 0 || len > t.len then invalid_arg "Vec.truncate: bad length";
+  t.len <- len
+
+(* Pre-size the backing store so a burst of pushes triggers no growth;
+   [fill] seeds the storage when none has been allocated yet (slots
+   beyond [len] are never read back). *)
+let reserve t cap fill =
+  if cap > Array.length t.data then
+    if Array.length t.data = 0 then t.data <- Array.make (max cap 16) fill
+    else grow t cap
+
 let to_array t = Array.sub t.data 0 t.len
 
 let to_list t = Array.to_list (to_array t)

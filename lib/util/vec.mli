@@ -11,6 +11,17 @@ val push : 'a t -> 'a -> unit
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
 val clear : 'a t -> unit
+
+val truncate : 'a t -> int -> unit
+(** [truncate t len] drops elements past [len] (keeps the storage).
+    Raises [Invalid_argument] if [len < 0] or [len > length t]. *)
+
+val reserve : 'a t -> int -> 'a -> unit
+(** [reserve t cap fill] pre-sizes the backing store to at least [cap]
+    slots so subsequent pushes up to [cap] never reallocate. [fill]
+    seeds the storage if none has been allocated yet; slots beyond
+    [length t] are never read back. *)
+
 val to_array : 'a t -> 'a array
 val to_list : 'a t -> 'a list
 val of_list : 'a list -> 'a t

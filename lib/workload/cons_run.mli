@@ -27,6 +27,16 @@ type result = {
   validity : bool;  (** every committed decision was somebody's proposal *)
 }
 
+val make_instance :
+  algo:algo ->
+  n:int ->
+  (module Scs_prims.Prims_intf.S) ->
+  'a Scs_consensus.Consensus_intf.t
+(** Build the algorithm instance on a primitives module (all mutable
+    state lives in the underlying simulator's objects — used by the
+    pooled {!Obs_run} drivers, which rewind that state between runs
+    with [Sim.reset]). *)
+
 val run :
   ?seed:int ->
   ?obs:Scs_obs.Obs.t ->

@@ -455,9 +455,9 @@ let find name = List.find_opt (fun w -> w.name = name) all
 let names () = List.map (fun w -> w.name) all
 
 let fuzz ?policies ?runs ?time_budget ?max_violations ?seed ?max_steps ?check_domains
-    ?obs w ~n =
+    ?gen_domains ?pool ?obs w ~n =
   Fuzz.run ?policies ?runs ?time_budget ?max_violations ?seed ?max_steps
-    ?check_domains ?obs ~workload:w.name ~n
+    ?check_domains ?gen_domains ?pool ?obs ~workload:w.name ~n
     ~instantiate:(fun () ->
       let { setup; check } = w.instantiate ~n in
       (setup, check))

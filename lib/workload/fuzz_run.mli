@@ -61,14 +61,17 @@ val fuzz :
   ?seed:int ->
   ?max_steps:int ->
   ?check_domains:int ->
+  ?gen_domains:int ->
+  ?pool:bool ->
   ?obs:Scs_obs.Obs.t ->
   t ->
   n:int ->
   Fuzz.report
 (** {!Fuzz.run} with a fresh instance of the workload per run;
-    [check_domains] fans checker work out and [obs] attaches an
-    observability sink to every run's simulator, as documented
-    there. *)
+    [check_domains] fans checker work out, [gen_domains] fans schedule
+    generation out, [pool] (default true) reuses pooled simulators, and
+    [obs] attaches an observability sink to every run's simulator, as
+    documented there. *)
 
 type replay_outcome =
   | Violates of string  (** the recorded violation reproduces *)

@@ -107,21 +107,214 @@ let one_run ?(crashes = []) ~obs ~target ~n ~policy rng =
       let seed = Rng.int rng 0x3FFFFFFF in
       ignore (Cons_run.run ~seed ~obs ~n ~algo ~policy ())
 
-let measure ?(runs = 200) ?(seed = 42) ?(policy = Policy.random)
-    ?(crash_prob = 0.0) target ~n =
-  let prng = Rng.create seed in
-  let obs = Obs.create ~n () in
-  let t0 = Unix.gettimeofday () in
-  let completed = ref 0 in
-  for _ = 1 to runs do
+(* ---- pooled measurement engine ------------------------------------- *)
+
+(* Install the target's shared objects and fibers once on [sim] (whose
+   sink is [obs]), replicating the obs-bracket semantics of the legacy
+   per-run drivers ([run_a1] / [Tas_run.one_shot] / [Cons_run.run]) but
+   without their tracing scaffolding: the batch aggregate only reads
+   the sink. All algorithm state lives in simulator objects, so
+   [Sim.reset] rewinds a finished (or livelocked) run back to this
+   installed state. Returns the per-run rearm hook, fed the run's
+   derived rng for targets whose operations consume randomness. *)
+let install ~obs ~target ~n sim =
+  let module P = (val Scs_prims.Sim_prims.make sim) in
+  match target with
+  | A1 ->
+      let module M = Scs_tas.A1.Make (P) in
+      let a1 = M.create ~name:"a1" () in
+      for pid = 0 to n - 1 do
+        Sim.spawn sim pid (fun () ->
+            Obs.op_begin obs ~pid ~obj:0 ~label:"a1";
+            let outcome = M.apply a1 ~pid None in
+            let aborted = match outcome with Outcome.Abort _ -> true | _ -> false in
+            if aborted then Obs.abort obs ~pid;
+            Obs.op_end obs ~pid ~aborted)
+      done;
+      fun _ -> ()
+  | Tas (Tas_run.Composed | Tas_run.Strict) ->
+      let module OS = Scs_tas.One_shot.Make (P) in
+      let os = OS.create ~strict:(target = Tas Tas_run.Strict) ~name:"tas" () in
+      for pid = 0 to n - 1 do
+        Sim.spawn sim pid (fun () ->
+            Obs.op_begin obs ~pid ~obj:0 ~label:"tas";
+            (match OS.A1m.apply (OS.a1 os) ~pid None with
+            | Outcome.Commit _ -> ()
+            | Outcome.Abort v -> (
+                Obs.abort obs ~pid;
+                Obs.handoff obs ~pid ~label:"a1->a2";
+                match OS.A2m.apply (OS.a2 os) ~pid (Some v) with
+                | Outcome.Commit _ -> ()
+                | Outcome.Abort _ -> assert false));
+            Obs.op_end obs ~pid ~aborted:false)
+      done;
+      fun _ -> ()
+  | Tas Tas_run.Solo_fast ->
+      let module SF = Scs_tas.Solo_fast.Make (P) in
+      let sf = SF.create ~name:"sftas" () in
+      for pid = 0 to n - 1 do
+        Sim.spawn sim pid (fun () ->
+            Obs.op_begin obs ~pid ~obj:0 ~label:"tas";
+            (match SF.apply_fast sf ~pid None with
+            | Outcome.Commit _ -> ()
+            | Outcome.Abort v -> (
+                Obs.abort obs ~pid;
+                Obs.handoff obs ~pid ~label:"sf->fallback";
+                match SF.apply_fallback sf ~pid (Some v) with
+                | Outcome.Commit _ -> ()
+                | Outcome.Abort _ -> assert false));
+            Obs.op_end obs ~pid ~aborted:false)
+      done;
+      fun _ -> ()
+  | Tas Tas_run.Hardware ->
+      let module B = Scs_tas.Baselines.Make (P) in
+      let hw = B.Hardware.create ~name:"hw" () in
+      for pid = 0 to n - 1 do
+        Sim.spawn sim pid (fun () ->
+            Obs.op_begin obs ~pid ~obj:0 ~label:"tas";
+            ignore (B.Hardware.test_and_set hw ~pid);
+            Obs.op_end obs ~pid ~aborted:false)
+      done;
+      fun _ -> ()
+  | Tas Tas_run.Tournament ->
+      let module B = Scs_tas.Baselines.Make (P) in
+      let tn = B.Tournament.create ~name:"agtv" ~n () in
+      let rngs = Array.init n (fun i -> Rng.create (i + 1)) in
+      for pid = 0 to n - 1 do
+        Sim.spawn sim pid (fun () ->
+            Obs.op_begin obs ~pid ~obj:0 ~label:"tas";
+            ignore (B.Tournament.test_and_set tn ~pid ~rng:rngs.(pid));
+            Obs.op_end obs ~pid ~aborted:false)
+      done;
+      fun rng ->
+        for i = 0 to n - 1 do
+          rngs.(i) <- Rng.split rng
+        done
+  | Cons algo ->
+      let inst : int Scs_consensus.Consensus_intf.t =
+        Cons_run.make_instance ~algo ~n (module P)
+      in
+      let label = Cons_run.algo_name algo in
+      for pid = 0 to n - 1 do
+        Sim.spawn sim pid (fun () ->
+            Obs.op_begin obs ~pid ~obj:0 ~label;
+            let outcome = inst.Scs_consensus.Consensus_intf.run ~pid ~old:None (100 + pid) in
+            let aborted = match outcome with Outcome.Abort _ -> true | _ -> false in
+            if aborted then Obs.abort obs ~pid;
+            (match outcome with
+            | Outcome.Abort (Some _) -> Obs.handoff obs ~pid ~label:"switch"
+            | _ -> ());
+            Obs.op_end obs ~pid ~aborted)
+      done;
+      fun _ -> ()
+
+(* One domain's share of a pooled batch: a single simulator installed
+   once, rewound with [Sim.reset] per run, driven by the allocation-free
+   loop. The per-run rng chain reproduces the legacy engine's exactly
+   (crash draws, the per-run derived seed, Tournament's per-pid splits,
+   then the policy stream), so the recorded metrics match run for run. *)
+let run_domain ~target ~n ~policy ~crash_prob ~obs ~prng ~runs =
+  let sim = Sim.create ~obs ~n () in
+  let rearm = install ~obs ~target ~n sim in
+  Sim.snapshot sim;
+  let plan = Policy.crash_plan ~n in
+  for i = 1 to runs do
     let rng = Rng.split prng in
     let crashes = gen_crashes rng ~n ~crash_prob in
-    (try one_run ~crashes ~obs ~target ~n ~policy rng
-     with Sim.Livelock _ -> ());
-    incr completed
+    let pol_rng =
+      match target with
+      | A1 -> rng
+      | Tas _ | Cons _ ->
+          let seed = Rng.int rng 0x3FFFFFFF in
+          let rng2 = Rng.create seed in
+          rearm rng2;
+          Rng.split rng2
+    in
+    if i > 1 then Sim.reset sim;
+    (* the legacy consensus driver takes no crash wrapper *)
+    Policy.arm_crashes plan (match target with Cons _ -> [] | _ -> crashes);
+    let fast =
+      if policy == Policy.random then Policy.fast_random pol_rng
+      else Policy.to_fast (policy pol_rng)
+    in
+    (try Policy.drive ~crashes:plan sim fast with Sim.Livelock _ -> ())
   done;
+  runs
+
+let measure ?(runs = 200) ?(seed = 42) ?(policy = Policy.random)
+    ?(crash_prob = 0.0) ?(gen_domains = 1) ?(pooled = true) target ~n =
+  let gen_domains = max 1 gen_domains in
+  (* The batch sink's event ring is never replayed (the aggregate reads
+     counters, census and op metrics only), so the pooled engine skips
+     ring recording entirely; the legacy engine keeps it, as it did
+     before pooling existed, for honest before/after numbers. *)
+  let obs = Obs.create ~record_ring:(not pooled) ~n () in
+  let t0 = Unix.gettimeofday () in
+  let completed =
+    if not pooled then begin
+      (* legacy reference engine: fresh simulator and driver per run,
+         kept for before/after measurements (experiment T14) *)
+      let prng = Rng.create seed in
+      let completed = ref 0 in
+      for _ = 1 to runs do
+        let rng = Rng.split prng in
+        let crashes = gen_crashes rng ~n ~crash_prob in
+        (try one_run ~crashes ~obs ~target ~n ~policy rng
+         with Sim.Livelock _ -> ());
+        incr completed
+      done;
+      !completed
+    end
+    else if gen_domains = 1 then
+      run_domain ~target ~n ~policy ~crash_prob ~obs ~prng:(Rng.create seed) ~runs
+    else begin
+      let base = runs / gen_domains and extra = runs mod gen_domains in
+      let counts =
+        Array.init gen_domains (fun d -> base + if d < extra then 1 else 0)
+      in
+      let sinks =
+        Array.init gen_domains (fun d ->
+            if d = 0 then obs
+            else
+              Obs.create ~ring_capacity:(Obs.ring_capacity obs)
+                ~record_ring:false ~n ())
+      in
+      let work d () =
+        run_domain ~target ~n ~policy ~crash_prob ~obs:sinks.(d)
+          ~prng:(Rng.create (seed + (0x51ED270B * d)))
+          ~runs:counts.(d)
+      in
+      (* [gen_domains] fixes the stream split (and therefore the exact
+         schedules sampled); the number of OS domains actually spawned
+         is capped at the runtime's recommendation, because
+         oversubscribed domains stall each other at every minor-GC
+         barrier. A worker executes its streams sequentially, so the
+         mapping of streams to workers cannot change any result. *)
+      let workers =
+        min gen_domains (max 1 (Domain.recommended_domain_count ()))
+      in
+      let run_streams w () =
+        let total = ref 0 in
+        let d = ref w in
+        while !d < gen_domains do
+          total := !total + work !d ();
+          d := !d + workers
+        done;
+        !total
+      in
+      let others =
+        Array.init (workers - 1) (fun i -> Domain.spawn (run_streams (i + 1)))
+      in
+      let mine = run_streams 0 () in
+      let rest = Array.map Domain.join others in
+      for d = 1 to gen_domains - 1 do
+        Obs.merge_into ~into:obs sinks.(d)
+      done;
+      Array.fold_left ( + ) mine rest
+    end
+  in
   let wall = Unix.gettimeofday () -. t0 in
-  aggregate ~workload:(target_name target) ~n ~runs:!completed ~wall obs
+  aggregate ~workload:(target_name target) ~n ~runs:completed ~wall obs
 
 let solo target ~n =
   let obs = Obs.create ~n () in

@@ -43,6 +43,8 @@ val measure :
   ?seed:int ->
   ?policy:(Scs_util.Rng.t -> Policy.t) ->
   ?crash_prob:float ->
+  ?gen_domains:int ->
+  ?pooled:bool ->
   target ->
   n:int ->
   agg
@@ -52,7 +54,21 @@ val measure :
     from [seed], default 42); [crash_prob] (default 0) independently
     crashes each pid with that probability after 1–15 steps, as the
     fuzzer's crash portfolio does. Raises [Invalid_argument] if the
-    batch completes zero operations. *)
+    batch completes zero operations.
+
+    [pooled] (default [true]) runs the batch on one simulator per
+    domain, installed once and rewound with [Sim.reset] between runs,
+    under the allocation-free scheduling loop — the per-run rng chain
+    matches the legacy fresh-simulator engine ([~pooled:false], kept
+    for before/after comparisons) draw for draw, so the recorded
+    metrics are identical and only throughput changes.
+
+    [gen_domains] (default 1) splits the batch across that many OCaml
+    domains, each with its own pooled simulator and private sink,
+    merged deterministically at join (domain-index order). Domain 0
+    generates the legacy stream; higher domains use derived streams, so
+    per-op metrics aggregate a different (but seed-stable) sample of
+    schedules. A custom [policy] closure must be domain-safe. *)
 
 val solo : target -> n:int -> agg
 (** One run in which process 0 executes alone ({!Policy.solo}): the

@@ -23,4 +23,5 @@ let () =
       ("crashes", Test_crashes.tests);
       ("composition", Test_composition.tests);
       ("obs", Test_obs.tests);
+      ("pool", Test_pool.tests);
     ]

@@ -215,6 +215,91 @@ let test_obs_never_changes_verdicts () =
     (List.length off.Fuzz.r_violations)
     (List.length on.Fuzz.r_violations)
 
+(* merge_into folds one sink into another: counters summed, census
+   merged, maxima maxed, crashes appended after the destination's, ring
+   replayed oldest-first, open brackets of the source dropped. *)
+let test_merge_into () =
+  let a = Obs.create ~n:3 () in
+  let b = Obs.create ~n:3 () in
+  Obs.op_begin a ~pid:0 ~obj:0 ~label:"opA";
+  step a ~pid:0 ();
+  step a ~pid:1 ~obj:1 ~name:"s" ();
+  Obs.op_end a ~pid:0 ~aborted:false;
+  Obs.crash a ~pid:2;
+  Obs.op_begin b ~pid:1 ~obj:0 ~label:"opB";
+  step b ~pid:1 ();
+  step b ~pid:1 ();
+  Obs.op_end b ~pid:1 ~aborted:true;
+  Obs.abort b ~pid:1;
+  Obs.crash b ~pid:0;
+  Obs.op_begin b ~pid:2 ~obj:0 ~label:"open";
+  (* still open: must be dropped by the merge *)
+  Obs.merge_into ~into:a b;
+  Alcotest.(check int) "steps summed" 4 (Obs.total_steps a);
+  Alcotest.(check int) "clock summed" 4 (Obs.clock a);
+  Alcotest.(check int) "p1 steps summed" 3 (Obs.steps_of a 1);
+  Alcotest.(check int) "aborts summed" 1 (Obs.total_aborts a);
+  Alcotest.(check (list int)) "crashes appended after destination" [ 2; 0 ]
+    (Obs.crashes a);
+  Alcotest.(check int) "op metrics appended" 2 (List.length (Obs.op_metrics a));
+  (match Obs.objects a with
+  | (name, steps, _) :: _ ->
+      Alcotest.(check string) "census merged: busiest object" "r" name;
+      Alcotest.(check int) "census merged: steps" 3 steps
+  | [] -> Alcotest.failf "census empty after merge");
+  (* the open bracket's begin event stays in the ring (history), only
+     its bracket state is dropped *)
+  Alcotest.(check int) "ring replayed"
+    (4 (* steps *) + 2 (* begin/end A *) + 2 (* begin/end B *) + 2 (* crashes *)
+   + 1 (* dangling op_begin *))
+    (List.length (Obs.events a));
+  (* source unchanged *)
+  Alcotest.(check int) "source untouched" 2 (Obs.total_steps b);
+  (* disabled destination rejected, disabled source a no-op *)
+  (match Obs.merge_into ~into:Obs.null a with
+  | () -> Alcotest.failf "merge into null must raise"
+  | exception Invalid_argument _ -> ());
+  let before = Obs.total_steps a in
+  Obs.merge_into ~into:a Obs.null;
+  Alcotest.(check int) "null source is no-op" before (Obs.total_steps a)
+
+(* Parallel exploration with a sink: domains > 1 used to raise; now each
+   worker records into a private sink merged at join, and for a complete
+   exploration the merged step totals equal the sequential ones. *)
+let test_explore_obs_domains () =
+  let setup sim =
+    let r = Sim.reg sim ~name:"r" 0 in
+    for pid = 0 to 1 do
+      Sim.spawn sim pid (fun () ->
+          ignore (Sim.read r);
+          Sim.write r pid)
+    done
+  in
+  let run domains =
+    let obs = Obs.create ~n:2 () in
+    let outcome =
+      Explore.exhaustive ~domains ~obs ~n:2 ~setup ~check:(fun _ _ -> ()) ()
+    in
+    (outcome, obs)
+  in
+  let (seq_out, seq_obs) = run 1 in
+  let (par_out, par_obs) = run 2 in
+  Alcotest.(check int) "same schedule count" seq_out.Explore.schedules
+    par_out.Explore.schedules;
+  (* recorded steps include backtrack replays, whose structure differs
+     between engines, so totals are engine-specific — but every maximal
+     schedule contributes its 4 memory steps (2 reads + 2 writes), and
+     the merged clock must stay consistent with the merged step count *)
+  Alcotest.(check bool) "merged sink covers every schedule" true
+    (Obs.total_steps par_obs >= 4 * par_out.Explore.schedules);
+  Alcotest.(check int) "sequential clock consistent" (Obs.total_steps seq_obs)
+    (Obs.clock seq_obs);
+  Alcotest.(check int) "merged clock consistent" (Obs.total_steps par_obs)
+    (Obs.clock par_obs);
+  Alcotest.(check (list string)) "merged census covers the same objects"
+    (List.map (fun (name, _, _) -> name) (Obs.objects seq_obs))
+    (List.map (fun (name, _, _) -> name) (Obs.objects par_obs))
+
 (* Trajectory schema: value round-trip, file round-trip, and the
    validator rejecting what it must reject. *)
 let test_trajectory_roundtrip () =
@@ -311,6 +396,9 @@ let tests =
     Alcotest.test_case "online estimators match Detect" `Quick test_cross_check_detect;
     Alcotest.test_case "obs never changes fuzz verdicts" `Quick
       test_obs_never_changes_verdicts;
+    Alcotest.test_case "merge_into folds sinks" `Quick test_merge_into;
+    Alcotest.test_case "explore merges per-domain sinks" `Quick
+      test_explore_obs_domains;
     Alcotest.test_case "trajectory round-trip" `Quick test_trajectory_roundtrip;
     Alcotest.test_case "trajectory validation errors" `Quick
       test_trajectory_validation_errors;

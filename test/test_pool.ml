@@ -1,0 +1,306 @@
+(* Differential tests for the pooled simulation engine (PR 5).
+
+   The fuzz engine has two execution paths: the pooled fast path
+   ([~pool:true], default — one simulator per gen domain rewound with
+   [Sim.clear], allocation-free [Policy.drive] loop) and the fresh
+   reference path ([~pool:false] — a new [Sim.create] and boxed policy
+   per run, the pre-pool engine kept verbatim). The contract is that
+   they are bit-identical: same schedules, same verdicts, same obs
+   counters, for every portfolio policy including the crash-injecting
+   ones. These tests enforce that contract, plus [Sim.snapshot]/
+   [Sim.reset] rewind correctness and recovery after [Livelock] and
+   [Process_failure]. *)
+
+open Scs_sim
+open Scs_workload
+
+let seeds = [ 1; 7; 1234 ]
+
+let check_viol_eq label (a : Fuzz.violation) (b : Fuzz.violation) =
+  Alcotest.(check string) (label ^ " policy") a.Fuzz.v_policy b.Fuzz.v_policy;
+  Alcotest.(check int) (label ^ " seed") a.v_seed b.v_seed;
+  Alcotest.(check (array int)) (label ^ " schedule") a.v_schedule b.v_schedule;
+  Alcotest.(check (list (pair int int))) (label ^ " crashes") a.v_crashes b.v_crashes;
+  Alcotest.(check string) (label ^ " error") a.v_error b.v_error
+
+let check_stats_eq label (a : Fuzz.policy_stats) (b : Fuzz.policy_stats) =
+  Alcotest.(check string) (label ^ " policy") a.Fuzz.s_policy b.Fuzz.s_policy;
+  Alcotest.(check int) (label ^ " runs") a.s_runs b.s_runs;
+  Alcotest.(check int) (label ^ " turns") a.s_turns b.s_turns;
+  Alcotest.(check int) (label ^ " violations") a.s_violations b.s_violations;
+  Alcotest.(check int) (label ^ " skipped") a.s_skipped b.s_skipped;
+  Alcotest.(check int) (label ^ " checked_large") a.s_checked_large b.s_checked_large;
+  Alcotest.(check (float 1e-9)) (label ^ " p50") a.s_step_p50 b.s_step_p50;
+  Alcotest.(check (float 1e-9)) (label ^ " p99") a.s_step_p99 b.s_step_p99;
+  Alcotest.(check int) (label ^ " maxC") a.s_max_contention b.s_max_contention
+
+let check_report_eq label (a : Fuzz.report) (b : Fuzz.report) =
+  List.iter2 (check_stats_eq label) a.Fuzz.r_stats b.Fuzz.r_stats;
+  Alcotest.(check int)
+    (label ^ " #violations")
+    (List.length a.r_violations)
+    (List.length b.r_violations);
+  List.iter2 (check_viol_eq label) a.r_violations b.r_violations
+
+(* Pooled vs fresh: full portfolio over a green workload and a
+   known-failing finder, at several seeds. Verdict counts, turn counts,
+   step percentiles and every recorded violation (schedule + crashes +
+   error, bit for bit) must agree. *)
+let test_pooled_vs_fresh_reports () =
+  List.iter
+    (fun (w, n, runs) ->
+      List.iter
+        (fun seed ->
+          let pooled = Fuzz_run.fuzz ~runs ~seed ~pool:true w ~n in
+          let fresh = Fuzz_run.fuzz ~runs ~seed ~pool:false w ~n in
+          check_report_eq
+            (Printf.sprintf "%s seed=%d" w.Fuzz_run.name seed)
+            pooled fresh)
+        seeds)
+    [ (Fuzz_run.tas_composed, 3, 40); (Fuzz_run.f1, 3, 40); (Fuzz_run.splitter, 3, 30) ]
+
+(* Turn-for-turn schedules for EVERY run, not just violating ones: wrap
+   a workload so check always raises Violation, surfacing the captured
+   schedule of each run in the report. Pooled and fresh must produce
+   identical schedule arrays run for run, for every portfolio policy
+   (including uniform+crash, whose crash lists must also match). *)
+let test_pooled_vs_fresh_every_schedule () =
+  let n = 3 in
+  let instantiate () =
+    let inst = Fuzz_run.tas_composed.Fuzz_run.instantiate ~n in
+    (inst.Fuzz_run.setup, fun _ -> raise (Fuzz.Violation "capture"))
+  in
+  List.iter
+    (fun seed ->
+      let go pool =
+        Fuzz.run ~runs:25 ~seed ~pool ~workload:"capture" ~n ~instantiate ()
+      in
+      let pooled = go true and fresh = go false in
+      let np = List.length pooled.Fuzz.r_violations in
+      Alcotest.(check int) "all runs surfaced" (5 * 25) np;
+      check_report_eq (Printf.sprintf "capture seed=%d" seed) pooled fresh)
+    seeds
+
+(* Obs counters: attach a sink to both engines and require identical
+   step clocks, per-pid counters, abort/handoff totals, crash lists,
+   contention maxima and object census. *)
+let test_pooled_vs_fresh_obs () =
+  let n = 3 in
+  List.iter
+    (fun seed ->
+      let go pool =
+        let obs = Scs_obs.Obs.create ~n () in
+        let (_ : Fuzz.report) =
+          Fuzz_run.fuzz ~runs:40 ~seed ~pool ~obs Fuzz_run.tas_composed ~n
+        in
+        obs
+      in
+      let a = go true and b = go false in
+      let module O = Scs_obs.Obs in
+      Alcotest.(check int) "clock" (O.clock a) (O.clock b);
+      Alcotest.(check int) "total steps" (O.total_steps a) (O.total_steps b);
+      for pid = 0 to n - 1 do
+        Alcotest.(check int) "steps_of" (O.steps_of a pid) (O.steps_of b pid);
+        Alcotest.(check int) "rmws_of" (O.rmws_of a pid) (O.rmws_of b pid);
+        Alcotest.(check int) "aborts_of" (O.aborts_of a pid) (O.aborts_of b pid);
+        Alcotest.(check int) "handoffs_of" (O.handoffs_of a pid) (O.handoffs_of b pid)
+      done;
+      Alcotest.(check (list int)) "crashes" (O.crashes a) (O.crashes b);
+      Alcotest.(check int) "max step contention" (O.max_step_contention a)
+        (O.max_step_contention b);
+      Alcotest.(check int) "max interval contention" (O.max_interval_contention a)
+        (O.max_interval_contention b);
+      Alcotest.(check (list (triple string int int))) "object census" (O.objects a)
+        (O.objects b);
+      Alcotest.(check int) "op metric count"
+        (List.length (O.op_metrics a))
+        (List.length (O.op_metrics b)))
+    seeds
+
+(* Pool accounting: one pooled simulator per policy batch — exactly one
+   fresh create per policy, every later acquire a reuse. The fresh path
+   reports all-zero pool stats. *)
+let test_pool_stats () =
+  let runs = 20 in
+  let r = Fuzz_run.fuzz ~runs ~seed:7 ~pool:true Fuzz_run.tas_composed ~n:3 in
+  let p = r.Fuzz.r_pool in
+  let policies = List.length r.Fuzz.r_stats in
+  Alcotest.(check int) "one create per policy" policies p.Pool.created;
+  Alcotest.(check int) "rest reused" ((policies * runs) - policies) p.Pool.reused;
+  if p.Pool.peak_objects <= 0 then Alcotest.failf "peak_objects not recorded";
+  if p.Pool.peak_turns <= 0 then Alcotest.failf "peak_turns not recorded";
+  let f = Fuzz_run.fuzz ~runs ~seed:7 ~pool:false Fuzz_run.tas_composed ~n:3 in
+  Alcotest.(check int) "fresh path: no creates counted" 0 f.Fuzz.r_pool.Pool.created;
+  Alcotest.(check int) "fresh path: no reuse counted" 0 f.Fuzz.r_pool.Pool.reused
+
+(* A little workload touching every object class, with a mid-run
+   allocation so reset has something to truncate. *)
+let setup_kitchen_sink sim =
+  let r = Sim.reg sim ~name:"r" 0 in
+  let t = Sim.tas_obj sim ~name:"t" () in
+  let c = Sim.cas_obj sim ~name:"c" 10 in
+  let f = Sim.fai_obj sim ~name:"f" 0 in
+  let s = Sim.swap_obj sim ~name:"s" "init" in
+  Sim.spawn sim 0 (fun () ->
+      Sim.write r 1;
+      ignore (Sim.test_and_set t);
+      ignore (Sim.compare_and_swap c ~expect:10 ~update:11);
+      (* allocated mid-run: must disappear on reset *)
+      let extra = Sim.reg sim ~name:"extra" 99 in
+      Sim.write extra 100;
+      ignore (Sim.read extra));
+  Sim.spawn sim 1 (fun () ->
+      ignore (Sim.fetch_and_inc f);
+      ignore (Sim.swap s "one");
+      ignore (Sim.read r));
+  Sim.spawn sim 2 (fun () ->
+      ignore (Sim.tas_read t);
+      ignore (Sim.cas_read c);
+      ignore (Sim.fai_read f))
+
+(* snapshot/reset rewinds the simulator to its post-setup state:
+   replaying the same schedule after reset reproduces the fresh run's
+   trace, counters and object values, and mid-run allocations are
+   rolled back. *)
+let test_snapshot_reset_differential () =
+  let run_once sim rng_seed =
+    let rng = Scs_util.Rng.create rng_seed in
+    Sim.run_fast sim (Policy.fast_random rng);
+    (Sim.trace sim, Sim.clock sim, Sim.total_steps sim, Sim.total_rmws sim,
+     Sim.objects_allocated sim)
+  in
+  let fresh_of seed =
+    let sim = Sim.create ~n:3 () in
+    Sim.set_trace sim true;
+    setup_kitchen_sink sim;
+    run_once sim seed
+  in
+  let sim = Sim.create ~n:3 () in
+  Sim.set_trace sim true;
+  setup_kitchen_sink sim;
+  Sim.snapshot sim;
+  let objs0 = Sim.objects_allocated sim in
+  List.iter
+    (fun seed ->
+      let (trace, clock, steps, rmws, objs) = run_once sim seed in
+      let (ftrace, fclock, fsteps, frmws, fobjs) = fresh_of seed in
+      Alcotest.(check int) "clock matches fresh" fclock clock;
+      Alcotest.(check int) "steps match fresh" fsteps steps;
+      Alcotest.(check int) "rmws match fresh" frmws rmws;
+      Alcotest.(check int) "allocations match fresh" fobjs objs;
+      Alcotest.(check int) "trace length" (List.length ftrace) (List.length trace);
+      if trace <> ftrace then Alcotest.failf "trace diverged from fresh sim (seed %d)" seed;
+      Sim.reset sim;
+      Alcotest.(check int) "reset rewinds clock" 0 (Sim.clock sim);
+      Alcotest.(check int) "reset truncates mid-run allocations" objs0
+        (Sim.objects_allocated sim);
+      Alcotest.(check int) "reset re-arms all fibers" 3 (Sim.runnable_count sim))
+    [ 5; 42; 5 (* same seed twice: reset must be idempotent *) ]
+
+(* Reset after Livelock: the budget blowup leaves fibers mid-flight;
+   reset must rewind to a state from which a bounded fresh-equivalent
+   run succeeds. *)
+let test_reset_after_livelock () =
+  let spin sim =
+    for pid = 0 to 1 do
+      Sim.spawn sim pid (fun () ->
+          let r = Sim.reg sim ~name:"spin" 0 in
+          while true do
+            Sim.write r pid
+          done)
+    done
+  in
+  let sim = Sim.create ~max_steps:10 ~n:2 () in
+  spin sim;
+  Sim.snapshot sim;
+  (match Sim.run_fast sim (Policy.fast_round_robin ()) with
+  | () -> Alcotest.failf "expected Livelock"
+  | exception Sim.Livelock _ -> ());
+  Sim.reset sim;
+  Alcotest.(check int) "clock rewound" 0 (Sim.clock sim);
+  Alcotest.(check int) "fibers re-armed" 2 (Sim.runnable_count sim);
+  (* a bounded scripted prefix now behaves like a fresh sim's *)
+  let script = [| 0; 0; 0; 1; 1 |] in
+  let go sim =
+    Sim.set_trace sim true;
+    Sim.run_fast sim (Policy.fast_scripted ~strict:true script);
+    Sim.trace sim
+  in
+  let reset_trace = go sim in
+  let fresh = Sim.create ~max_steps:10 ~n:2 () in
+  spin fresh;
+  let fresh_trace = go fresh in
+  Alcotest.(check int) "prefix length" (List.length fresh_trace) (List.length reset_trace);
+  if reset_trace <> fresh_trace then Alcotest.failf "post-livelock replay diverged"
+
+(* Reset after Process_failure: the failing run is deterministic, reset
+   rewinds object state (the register written before the raise), and
+   the failure reproduces identically on the next run. *)
+let test_reset_after_process_failure () =
+  let sim = Sim.create ~n:2 () in
+  Sim.set_trace sim true;
+  let r = Sim.reg sim ~name:"pf" 0 in
+  Sim.spawn sim 0 (fun () ->
+      Sim.write r 7;
+      failwith "boom");
+  Sim.spawn sim 1 (fun () ->
+      (* the extra write happens iff the register holds its initial
+         value, so a stale (un-rewound) register shows up as a missing
+         trace event — and as Replay_drift under the strict script *)
+      if Sim.read r = 0 then Sim.write r 1);
+  Sim.snapshot sim;
+  let observe () =
+    match Sim.run_fast sim (Policy.fast_scripted ~strict:true [| 1; 1; 1; 0; 0 |]) with
+    | () -> Alcotest.failf "expected Process_failure"
+    | exception Sim.Process_failure (pid, e) ->
+        (pid, Printexc.to_string e, Sim.clock sim, Sim.trace sim)
+  in
+  let (pid1, msg1, clock1, trace1) = observe () in
+  Sim.reset sim;
+  Alcotest.(check int) "clock rewound" 0 (Sim.clock sim);
+  Alcotest.(check int) "fibers re-armed" 2 (Sim.runnable_count sim);
+  let (pid2, msg2, clock2, trace2) = observe () in
+  Alcotest.(check (triple int string int)) "failure reproduces" (pid1, msg1, clock1)
+    (pid2, msg2, clock2);
+  Alcotest.(check int) "trace length reproduces" (List.length trace1)
+    (List.length trace2);
+  if trace1 <> trace2 then Alcotest.failf "post-failure replay diverged"
+
+(* gen_domains: two identical parallel-generation campaigns agree with
+   each other, run the full budget, and merged obs counters are
+   reproducible. *)
+let test_gen_domains_determinism () =
+  let n = 3 in
+  let go () =
+    let obs = Scs_obs.Obs.create ~n () in
+    let r = Fuzz_run.fuzz ~runs:40 ~seed:1234 ~gen_domains:2 ~obs Fuzz_run.f1 ~n in
+    (r, obs)
+  in
+  let (ra, oa) = go () in
+  let (rb, ob) = go () in
+  check_report_eq "gen-domains repeat" ra rb;
+  Alcotest.(check int) "merged clock deterministic" (Scs_obs.Obs.clock oa)
+    (Scs_obs.Obs.clock ob);
+  Alcotest.(check int) "merged steps deterministic" (Scs_obs.Obs.total_steps oa)
+    (Scs_obs.Obs.total_steps ob);
+  List.iter
+    (fun (s : Fuzz.policy_stats) ->
+      Alcotest.(check int) ("full budget: " ^ s.Fuzz.s_policy) 40 s.s_runs)
+    ra.Fuzz.r_stats
+
+let tests =
+  [
+    Alcotest.test_case "pooled vs fresh: reports and violations" `Slow
+      test_pooled_vs_fresh_reports;
+    Alcotest.test_case "pooled vs fresh: every schedule bit-identical" `Quick
+      test_pooled_vs_fresh_every_schedule;
+    Alcotest.test_case "pooled vs fresh: obs counters" `Quick test_pooled_vs_fresh_obs;
+    Alcotest.test_case "pool stats: creates vs reuses" `Quick test_pool_stats;
+    Alcotest.test_case "snapshot/reset: scripted differential" `Quick
+      test_snapshot_reset_differential;
+    Alcotest.test_case "reset recovers after Livelock" `Quick test_reset_after_livelock;
+    Alcotest.test_case "reset recovers after Process_failure" `Quick
+      test_reset_after_process_failure;
+    Alcotest.test_case "gen domains: deterministic parallel generation" `Quick
+      test_gen_domains_determinism;
+  ]
