@@ -96,13 +96,30 @@ let emit ~out ~run ~seed ~runs ~trials =
 let check file =
   match Trajectory.load file with
   | Ok t ->
-      Printf.printf "%s: valid (%s, run %s, %d records)\n" file
+      let native =
+        List.length
+          (List.filter (fun r -> r.Trajectory.native <> None) t.Trajectory.records)
+      in
+      Printf.printf "%s: valid (%s, run %s, %d records%s)\n" file
         Trajectory.schema_version t.Trajectory.run
-        (List.length t.Trajectory.records);
-      exit 0
+        (List.length t.Trajectory.records)
+        (if native > 0 then Printf.sprintf ", %d native" native else "");
+      true
   | Error msg ->
       Printf.eprintf "%s: INVALID: %s\n" file msg;
-      exit 1
+      false
+
+(* --check with no positional files validates every committed
+   trajectory in the working directory, so adding BENCH_<k+1>.json to
+   the repo root is automatically covered by the CI smoke. *)
+let bench_glob () =
+  Sys.readdir "."
+  |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 11
+         && String.sub f 0 6 = "BENCH_"
+         && Filename.check_suffix f ".json")
+  |> List.sort compare
 
 let () =
   let out = ref "BENCH_5.json" in
@@ -110,7 +127,8 @@ let () =
   let seed = ref 42 in
   let runs = ref 20000 in
   let trials = ref 5 in
-  let check_file = ref None in
+  let check_mode = ref false in
+  let files = ref [] in
   let spec =
     [
       ("-o", Arg.Set_string out, "FILE output path (default BENCH_5.json)");
@@ -121,13 +139,27 @@ let () =
         Arg.Set_int trials,
         "T trials per cell, best throughput kept (default 5)" );
       ( "--check",
-        Arg.String (fun f -> check_file := Some f),
-        "FILE validate an existing trajectory file and exit" );
+        Arg.Set check_mode,
+        " validate trajectory files and exit (positional FILEs; default: every \
+         BENCH_*.json in the working directory)" );
     ]
   in
   Arg.parse spec
-    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" a)))
-    "emit_json [-o FILE] [--run ID] [--seed S] [--runs K] [--trials T] | --check FILE";
-  match !check_file with
-  | Some f -> check f
-  | None -> emit ~out:!out ~run:!run ~seed:!seed ~runs:!runs ~trials:!trials
+    (fun a ->
+      files := a :: !files)
+    "emit_json [-o FILE] [--run ID] [--seed S] [--runs K] [--trials T] | --check [FILE...]";
+  if not !check_mode then begin
+    (match !files with
+    | [] -> ()
+    | f :: _ -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" f)));
+    emit ~out:!out ~run:!run ~seed:!seed ~runs:!runs ~trials:!trials
+  end
+  else begin
+    let files = match List.rev !files with [] -> bench_glob () | fs -> fs in
+    if files = [] then begin
+      Printf.eprintf "--check: no BENCH_*.json files found\n";
+      exit 1
+    end;
+    let ok = List.fold_left (fun acc f -> check f && acc) true files in
+    exit (if ok then 0 else 1)
+  end

@@ -583,6 +583,260 @@ let stats_cmd =
       $ policy_arg $ crash_prob_arg $ solo_arg $ json_arg $ run_id_arg $ objects_arg
       $ gen_domains_arg $ no_pool_arg)
 
+(* ---- load ------------------------------------------------------------------ *)
+
+let load_cmd =
+  let module L = Scs_load.Load in
+  let module Mx = Scs_load.Mix in
+  let duration_conv =
+    let parse s =
+      let len = String.length s in
+      let num k = float_of_string_opt (String.sub s 0 (len - k)) in
+      let v =
+        if len >= 2 && String.sub s (len - 2) 2 = "ms" then
+          Option.map (fun f -> f /. 1000.) (num 2)
+        else if len >= 1 && s.[len - 1] = 's' then num 1
+        else if len >= 1 && s.[len - 1] = 'm' then Option.map (fun f -> f *. 60.) (num 1)
+        else float_of_string_opt s
+      in
+      match v with
+      | Some f when f >= 0.0 -> Ok f
+      | _ -> Error (`Msg (Printf.sprintf "invalid duration %S (try 500ms, 1s, 2m)" s))
+    in
+    Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%gs" f)
+  in
+  let workload_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Workload: a single name ($(b,speculative), $(b,strict-tas), $(b,solo-fast), \
+             $(b,one-shot), $(b,hardware), $(b,ttas-lock), $(b,uc-register), $(b,chain)), a \
+             family ($(b,tas), $(b,uc), $(b,chain)), or $(b,all).")
+  in
+  let domains_arg =
+    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"D" ~doc:"OCaml domains driving the loop.")
+  in
+  let sweep_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "sweep" ] ~docv:"D1,D2,..."
+          ~doc:"Sweep domain counts (overrides $(b,--domains)); one row per value.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt duration_conv 1.0
+      & info [ "duration" ] ~docv:"T" ~doc:"Measured window per cell (e.g. 500ms, 1s, 2m).")
+  in
+  let warmup_arg =
+    Arg.(value & opt duration_conv 0.2 & info [ "warmup" ] ~docv:"T" ~doc:"Unrecorded warmup.")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt string "a"
+      & info [ "mix" ] ~docv:"PROFILE"
+          ~doc:
+            "YCSB profile: $(b,a) (50/50 read/update), $(b,b) (95/5), $(b,c) (read-only) or \
+             $(b,u) (update-only).")
+  in
+  let read_ratio_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "read-ratio" ] ~docv:"R" ~doc:"Override the profile's read ratio ([0,1]).")
+  in
+  let keys_arg =
+    Arg.(value & opt int 16 & info [ "keys" ] ~docv:"K" ~doc:"Keyspace size (objects per arena).")
+  in
+  let skew_arg =
+    Arg.(
+      value
+      & opt (enum [ ("zipfian", `Zipfian); ("uniform", `Uniform) ]) `Zipfian
+      & info [ "key-skew" ] ~docv:"SKEW" ~doc:"Key popularity: $(b,zipfian) or $(b,uniform).")
+  in
+  let theta_arg =
+    Arg.(value & opt float 0.99 & info [ "theta" ] ~docv:"THETA" ~doc:"Zipfian exponent.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "rounds" ] ~docv:"R" ~doc:"Long-lived TAS round capacity between recycles.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the rows as a bench-trajectory JSON file with native records \
+                (schema scs.bench.trajectory/1, validated on write; docs/metrics.md).")
+  in
+  let run_id_arg =
+    Arg.(
+      value & opt string "load"
+      & info [ "run-id" ] ~docv:"ID" ~doc:"The $(b,run) field of the emitted JSON.")
+  in
+  let compare_sim_arg =
+    Arg.(
+      value & flag
+      & info [ "compare-sim" ]
+          ~doc:
+            "Also measure each workload's simulator analog (same n) and print measured \
+             hardware abort/handoff rates next to the simulator's contention estimators \
+             (experiment T15). Most comparable with $(b,--mix u), since simulator \
+             workloads are update-only.")
+  in
+  let sim_runs_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "sim-runs" ] ~docv:"K" ~doc:"Seeded simulations per comparison cell.")
+  in
+  let sim_target = function
+    | L.Speculative | L.One_shot -> Some (Obs_run.Tas Tas_run.Composed)
+    | L.Strict_tas -> Some (Obs_run.Tas Tas_run.Strict)
+    | L.Solo_fast -> Some (Obs_run.Tas Tas_run.Solo_fast)
+    | L.Hardware -> Some (Obs_run.Tas Tas_run.Hardware)
+    | L.Chain -> Some (Obs_run.Cons Cons_run.Chain3)
+    | L.Ttas_lock | L.Uc_register -> None
+  in
+  let run workload domains sweep duration_s warmup_s mix_name read_ratio keys skew theta
+      rounds seed json run_id compare_sim sim_runs =
+    let workloads =
+      match workload with
+      | "all" -> L.all_workloads
+      | name -> (
+          match List.assoc_opt name L.workload_families with
+          | Some ws -> ws
+          | None -> (
+              match L.workload_of_string name with
+              | Some w -> [ w ]
+              | None ->
+                  Printf.eprintf "unknown workload %s\n" name;
+                  exit 1))
+    in
+    let read_ratio =
+      match read_ratio with
+      | Some r -> r
+      | None -> (
+          match Mx.profile_of_string mix_name with
+          | Some p -> Mx.profile_read_ratio p
+          | None ->
+              Printf.eprintf "unknown mix profile %s (try a, b, c or u)\n" mix_name;
+              exit 1)
+    in
+    let skew = match skew with `Uniform -> Mx.Uniform | `Zipfian -> Mx.Zipfian theta in
+    let mix = Mx.make ~read_ratio ~keys ~skew in
+    let ds = if sweep = [] then [ domains ] else sweep in
+    let host_cores = Domain.recommended_domain_count () in
+    let results =
+      List.concat_map
+        (fun w ->
+          List.map
+            (fun d ->
+              let cfg =
+                {
+                  (L.default_cfg ~workload:w ~domains:d) with
+                  L.mix;
+                  rounds;
+                  warmup_s;
+                  duration_s;
+                  seed;
+                }
+              in
+              let r = L.run cfg in
+              Printf.eprintf "  %-12s d=%d  %.0f ops/s\n%!" (L.workload_name w) d
+                r.L.r_ops_per_sec;
+              r)
+            ds)
+        workloads
+    in
+    Scs_util.Table.print
+      ~title:
+        (Printf.sprintf "load (%s, %gs/cell, %d host cores%s)" (Mx.describe mix) duration_s
+           host_cores
+           (if host_cores < List.fold_left max 1 ds then ", domains time-share" else ""))
+      ~header:
+        [
+          "workload"; "d"; "ops/s"; "p50 us"; "p99 us"; "p999 us"; "mean us"; "aborts";
+          "ab/upd"; "handoffs"; "resets"; "recycles";
+        ]
+      (List.map
+         (fun (r : L.result) ->
+           [
+             L.workload_name r.L.r_workload;
+             string_of_int r.L.r_domains;
+             Printf.sprintf "%.0f" r.L.r_ops_per_sec;
+             Printf.sprintf "%.2f" r.L.r_p50_us;
+             Printf.sprintf "%.2f" r.L.r_p99_us;
+             Printf.sprintf "%.2f" r.L.r_p999_us;
+             Printf.sprintf "%.2f" r.L.r_mean_us;
+             string_of_int r.L.r_aborts;
+             Printf.sprintf "%.4f" r.L.r_abort_rate;
+             string_of_int r.L.r_handoffs;
+             string_of_int r.L.r_resets;
+             string_of_int r.L.r_recycles;
+           ])
+         results);
+    if compare_sim then begin
+      print_newline ();
+      let rows =
+        List.filter_map
+          (fun (r : L.result) ->
+            match sim_target r.L.r_workload with
+            | None -> None
+            | Some t ->
+                let a = Obs_run.measure ~runs:sim_runs ~seed t ~n:r.L.r_domains in
+                let ops = List.length a.Obs_run.ops in
+                Some
+                  [
+                    L.workload_name r.L.r_workload;
+                    Obs_run.target_name t;
+                    string_of_int r.L.r_domains;
+                    Printf.sprintf "%.4f" r.L.r_abort_rate;
+                    Printf.sprintf "%.4f"
+                      (float_of_int a.Obs_run.aborts /. float_of_int (max 1 ops));
+                    Printf.sprintf "%.4f"
+                      (float_of_int r.L.r_handoffs /. float_of_int (max 1 r.L.r_updates));
+                    Printf.sprintf "%.4f"
+                      (float_of_int a.Obs_run.handoffs /. float_of_int (max 1 ops));
+                    string_of_int a.Obs_run.max_interval_contention;
+                  ])
+          results
+      in
+      if rows <> [] then
+        Scs_util.Table.print
+          ~title:
+            (Printf.sprintf
+               "native vs simulator (T15: %d sim runs/cell; native rates per update)"
+               sim_runs)
+          ~header:
+            [
+              "workload"; "sim target"; "n"; "ab/upd nat"; "ab/op sim"; "ho/upd nat";
+              "ho/op sim"; "max ivlC sim";
+            ]
+          rows
+      else print_endline "compare-sim: no simulator analog for the selected workloads"
+    end;
+    match json with
+    | None -> ()
+    | Some path ->
+        let t =
+          { Scs_obs.Trajectory.run = run_id; seed; records = List.map L.to_record results }
+        in
+        Scs_obs.Trajectory.save path t;
+        Printf.printf "\nwrote %s (%d records, schema %s)\n" path (List.length results)
+          Scs_obs.Trajectory.schema_version
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Native multicore macro-benchmark: N OCaml 5 domains run a YCSB-style closed loop \
+          (configurable read/update mix and key skew) against the paper's objects, \
+          reporting throughput, log-bucketed latency percentiles and hardware \
+          abort/handoff/reset counters, optionally compared against the simulator's \
+          contention estimators and emitted as bench-trajectory JSON.")
+    Term.(
+      const run $ workload_arg $ domains_arg $ sweep_arg $ duration_arg $ warmup_arg
+      $ mix_arg $ read_ratio_arg $ keys_arg $ skew_arg $ theta_arg $ rounds_arg $ seed_arg
+      $ json_arg $ run_id_arg $ compare_sim_arg $ sim_runs_arg)
+
 (* ---- replay ---------------------------------------------------------------- *)
 
 let replay_cmd =
@@ -661,6 +915,7 @@ let () =
             check_cmd;
             explore_cmd;
             fuzz_cmd;
+            load_cmd;
             replay_cmd;
             stats_cmd;
           ]))

@@ -1,7 +1,7 @@
 open Scs_composable
 
 module Make (P : Scs_prims.Prims_intf.S) = struct
-  let make ~name instances =
+  let make ?(on_handoff = fun ~pid:_ ~stage:_ -> ()) ~name instances =
     if instances = [] then invalid_arg "Chain.make: empty instance list";
     let stages = Array.of_list instances in
     let k_stages = Array.length stages in
@@ -31,6 +31,7 @@ module Make (P : Scs_prims.Prims_intf.S) = struct
                  call); treat as an undecided pass-through *)
               if P.read moved.(k) then go (k + 1) old else Outcome.Commit None
           | Outcome.Abort _ ->
+              on_handoff ~pid ~stage:k;
               let est = leave ~pid k in
               let inherited = match est with Some _ -> est | None -> old in
               go (k + 1) inherited

@@ -22,8 +22,16 @@
     its commits always stand. *)
 
 module Make (P : Scs_prims.Prims_intf.S) : sig
-  val make : name:string -> 'v Consensus_intf.t list -> 'v Consensus_intf.t
+  val make :
+    ?on_handoff:(pid:int -> stage:int -> unit) ->
+    name:string ->
+    'v Consensus_intf.t list ->
+    'v Consensus_intf.t
   (** The stage list must be non-empty. The result's [run]/[propose_raw]
       follow {!Consensus_intf}'s conventions; probing consults stages in
-      order. *)
+      order. [on_handoff] (default a no-op) is invoked each time a
+      process leaves an aborted stage [k] carrying its inherited value to
+      stage [k+1] — the composition's switch-value handoff — so harnesses
+      can count handoffs without instrumenting the simulator (the native
+      load harness's per-domain counters hang off this hook). *)
 end

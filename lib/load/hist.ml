@@ -1,0 +1,106 @@
+(* Exponential buckets with 32 linear sub-buckets per power of two.
+
+   For a value v:
+   - v < 32: bucket index is v itself (exact).
+   - otherwise, with k the index of v's highest set bit (k >= 5):
+       index = (k - 4) * 32 + ((v lsr (k - 5)) land 31)
+     which is monotone in v and resolves v to 1/32 relative error.
+   - v >= 2^40 goes to the single overflow bucket.
+
+   The inverse (bucket lower bound) for index >= 32 with
+   block = index / 32 and sub = index mod 32 is
+       lo = (32 + sub) lsl (block - 1),  width = 1 lsl (block - 1). *)
+
+let sub_bits = 5
+let subs = 1 lsl sub_bits (* 32 *)
+let max_exp = 40 (* values >= 2^40 ns overflow *)
+let buckets = ((max_exp - sub_bits) * subs) + subs (* 1152: indices 0 .. 1151 *)
+
+type t = {
+  counts : int array; (* [buckets] regular + 1 overflow at index [buckets] *)
+  mutable count : int;
+  mutable total : int;
+  mutable max_v : int;
+  mutable min_v : int;
+}
+
+let create () =
+  { counts = Array.make (buckets + 1) 0; count = 0; total = 0; max_v = 0; min_v = max_int }
+
+let clear t =
+  Array.fill t.counts 0 (buckets + 1) 0;
+  t.count <- 0;
+  t.total <- 0;
+  t.max_v <- 0;
+  t.min_v <- max_int
+
+(* index of the highest set bit; v > 0; branchy binary reduction, no
+   dependence on any intrinsic *)
+let log2 v =
+  let k = 0 and v = v in
+  let k, v = if v >= 1 lsl 32 then (k + 32, v lsr 32) else (k, v) in
+  let k, v = if v >= 1 lsl 16 then (k + 16, v lsr 16) else (k, v) in
+  let k, v = if v >= 1 lsl 8 then (k + 8, v lsr 8) else (k, v) in
+  let k, v = if v >= 1 lsl 4 then (k + 4, v lsr 4) else (k, v) in
+  let k, v = if v >= 1 lsl 2 then (k + 2, v lsr 2) else (k, v) in
+  if v >= 2 then k + 1 else k
+
+let index_of v =
+  if v < subs then v
+  else if v >= 1 lsl max_exp then buckets
+  else
+    let k = log2 v in
+    ((k - sub_bits + 1) * subs) + ((v lsr (k - sub_bits)) land (subs - 1))
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let i = index_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.total <- t.total + v;
+  if v > t.max_v then t.max_v <- v;
+  if v < t.min_v then t.min_v <- v
+
+let count t = t.count
+let total t = t.total
+let max_value t = t.max_v
+let min_value t = if t.count = 0 then 0 else t.min_v
+let mean t = if t.count = 0 then 0.0 else float_of_int t.total /. float_of_int t.count
+let overflow t = t.counts.(buckets)
+
+(* representative value of a bucket: its midpoint, exact for width-1 and
+   width-2 buckets *)
+let representative idx =
+  if idx < subs then idx
+  else
+    let block = idx / subs and sub = idx mod subs in
+    let lo = (subs + sub) lsl (block - 1) in
+    let width = 1 lsl (block - 1) in
+    lo + ((width - 1) / 2)
+
+let quantile t q =
+  if t.count = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int t.count)) in
+    let rank = if rank < 1 then 1 else if rank > t.count then t.count else rank in
+    let acc = ref 0 and idx = ref 0 and found = ref (-1) in
+    while !found < 0 && !idx <= buckets do
+      acc := !acc + t.counts.(!idx);
+      if !acc >= rank then found := !idx;
+      incr idx
+    done;
+    if !found < 0 || !found = buckets then t.max_v else representative !found
+  end
+
+let merge ~into src =
+  for i = 0 to buckets do
+    into.counts.(i) <- into.counts.(i) + src.counts.(i)
+  done;
+  into.count <- into.count + src.count;
+  into.total <- into.total + src.total;
+  if src.max_v > into.max_v then into.max_v <- src.max_v;
+  if src.min_v < into.min_v then into.min_v <- src.min_v
+
+let equal a b =
+  a.count = b.count && a.total = b.total && a.max_v = b.max_v && a.min_v = b.min_v
+  && a.counts = b.counts

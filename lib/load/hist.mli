@@ -1,0 +1,62 @@
+(** Fixed-bucket log-scaled latency histogram for the native load harness.
+
+    The hot path ({!record}) is a handful of integer operations and one
+    array increment — no allocation, no branches on the value
+    distribution — so per-operation wall-clock recording costs
+    nanoseconds even at millions of ops/sec. The layout is an
+    HdrHistogram-style exponential bucketing with 32 linear sub-buckets
+    per power of two: values below 32 are exact, larger values are
+    resolved to a relative error of at most [1/32] (~3.1%), which is
+    far below the run-to-run noise of any wall-clock percentile.
+
+    Values are non-negative integers (the harness records nanoseconds);
+    negative inputs are clamped to 0. Values at or above 2^40
+    (~18 minutes in ns) land in a single overflow bucket; {!quantile}
+    answers for them with the exact maximum recorded value.
+
+    Histograms merge by bucket-wise addition, so per-domain histograms
+    recorded independently during a run combine into the run-wide
+    distribution at join time; {!merge} is associative and commutative
+    (exactly, not approximately — asserted by the unit tests). *)
+
+type t
+
+val create : unit -> t
+
+val clear : t -> unit
+
+val record : t -> int -> unit
+(** [record t v] adds one sample of value [v] (clamped to [max 0 v]).
+    O(1), allocation-free. *)
+
+val count : t -> int
+(** Total samples recorded. *)
+
+val total : t -> int
+(** Exact sum of all recorded (clamped) values. *)
+
+val max_value : t -> int
+(** Exact maximum recorded value; 0 when empty. *)
+
+val min_value : t -> int
+(** Exact minimum recorded value; 0 when empty. *)
+
+val mean : t -> float
+(** [total / count]; 0 when empty. *)
+
+val overflow : t -> int
+(** Samples that landed in the overflow bucket (value ≥ 2^40). *)
+
+val quantile : t -> float -> int
+(** [quantile t q] with [q] in (0, 1]: a representative value (bucket
+    midpoint) whose rank is [ceil (q * count)]. Exact for values
+    below 32; within 3.1% above. Returns {!max_value} when the rank
+    falls in the overflow bucket, and 0 on an empty histogram. *)
+
+val merge : into:t -> t -> unit
+(** Bucket-wise addition of the source into [into]; the source is not
+    modified. Associative and commutative. *)
+
+val equal : t -> t -> bool
+(** Bucket-for-bucket equality (including count/total/min/max) — used
+    by the merge-associativity tests. *)

@@ -1,0 +1,66 @@
+open Scs_util
+
+type profile = A | B | C | U
+
+let profile_of_string = function
+  | "a" | "A" -> Some A
+  | "b" | "B" -> Some B
+  | "c" | "C" -> Some C
+  | "u" | "U" -> Some U
+  | _ -> None
+
+let profile_read_ratio = function A -> 0.5 | B -> 0.95 | C -> 1.0 | U -> 0.0
+
+type skew = Uniform | Zipfian of float
+
+type t = {
+  keys : int;
+  read_ratio : float;
+  skew : skew;
+  cdf : float array; (* [||] for uniform *)
+}
+
+let make ~read_ratio ~keys ~skew =
+  if keys < 1 then invalid_arg "Mix.make: keys must be >= 1";
+  if read_ratio < 0.0 || read_ratio > 1.0 then
+    invalid_arg "Mix.make: read_ratio must be in [0,1]";
+  let cdf =
+    match skew with
+    | Uniform -> [||]
+    | Zipfian theta ->
+        let w = Array.init keys (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+        let acc = ref 0.0 in
+        let c =
+          Array.map
+            (fun x ->
+              acc := !acc +. x;
+              !acc)
+            w
+        in
+        let z = c.(keys - 1) in
+        Array.map (fun x -> x /. z) c
+  in
+  { keys; read_ratio; skew; cdf }
+
+let keys t = t.keys
+let read_ratio t = t.read_ratio
+let skew t = t.skew
+let is_read t rng = t.read_ratio > 0.0 && Rng.float rng < t.read_ratio
+
+let sample_key t rng =
+  match t.skew with
+  | Uniform -> if t.keys = 1 then 0 else Rng.int rng t.keys
+  | Zipfian _ ->
+      let u = Rng.float rng in
+      (* first index with cdf.(i) >= u *)
+      let lo = ref 0 and hi = ref (t.keys - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+      done;
+      !lo
+
+let describe t =
+  Printf.sprintf "r%.2f-%s-k%d" t.read_ratio
+    (match t.skew with Uniform -> "unif" | Zipfian th -> Printf.sprintf "zipf%.2f" th)
+    t.keys

@@ -1,0 +1,36 @@
+(** YCSB-style operation mixes and key-popularity skew for the load
+    harness.
+
+    A mix is a read ratio plus a key sampler over a fixed keyspace.
+    The named profiles mirror the classic YCSB core workloads —
+    A (50/50 read/update), B (95/5) and C (read-only) — and an extra
+    U (update-only) profile used when comparing native abort rates
+    against the simulator, whose workloads are all updates.
+
+    Zipfian sampling uses the exact CDF of the finite Zipf(θ)
+    distribution, precomputed at {!make} time; drawing a key is a
+    binary search over the cumulative weights — O(log keys), no
+    allocation. Key 0 is the hottest. *)
+
+type profile = A | B | C | U
+
+val profile_of_string : string -> profile option
+val profile_read_ratio : profile -> float
+(** A = 0.5, B = 0.95, C = 1.0, U = 0.0. *)
+
+type skew = Uniform | Zipfian of float  (** θ; YCSB default 0.99 *)
+
+type t
+
+val make : read_ratio:float -> keys:int -> skew:skew -> t
+(** [read_ratio] in [0,1]; [keys] >= 1. *)
+
+val keys : t -> int
+val read_ratio : t -> float
+val skew : t -> skew
+
+val is_read : t -> Scs_util.Rng.t -> bool
+val sample_key : t -> Scs_util.Rng.t -> int
+
+val describe : t -> string
+(** e.g. ["r0.50-zipf0.99-k16"] — used in workload labels and JSON. *)

@@ -1,5 +1,15 @@
 open Scs_util
 
+type native = {
+  backend : string;
+  domains : int;
+  ops_per_sec : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  abort_rate : float;
+}
+
 type record = {
   workload : string;
   n : int;
@@ -8,23 +18,37 @@ type record = {
   p99_steps : float;
   max_interval_contention : int;
   schedules_per_sec : float;
+  native : native option;
 }
 
 type t = { run : string; seed : int; records : record list }
 
 let schema_version = "scs.bench.trajectory/1"
 
-let record_to_json r =
+let native_to_json (nv : native) =
   Json.Obj
     [
-      ("workload", Json.String r.workload);
-      ("n", Json.Int r.n);
-      ("runs", Json.Int r.runs);
-      ("p50_steps", Json.Float r.p50_steps);
-      ("p99_steps", Json.Float r.p99_steps);
-      ("max_interval_contention", Json.Int r.max_interval_contention);
-      ("schedules_per_sec", Json.Float r.schedules_per_sec);
+      ("backend", Json.String nv.backend);
+      ("domains", Json.Int nv.domains);
+      ("ops_per_sec", Json.Float nv.ops_per_sec);
+      ("p50_us", Json.Float nv.p50_us);
+      ("p99_us", Json.Float nv.p99_us);
+      ("p999_us", Json.Float nv.p999_us);
+      ("abort_rate", Json.Float nv.abort_rate);
     ]
+
+let record_to_json r =
+  Json.Obj
+    ([
+       ("workload", Json.String r.workload);
+       ("n", Json.Int r.n);
+       ("runs", Json.Int r.runs);
+       ("p50_steps", Json.Float r.p50_steps);
+       ("p99_steps", Json.Float r.p99_steps);
+       ("max_interval_contention", Json.Int r.max_interval_contention);
+       ("schedules_per_sec", Json.Float r.schedules_per_sec);
+     ]
+    @ match r.native with None -> [] | Some nv -> [ ("native", native_to_json nv) ])
 
 let to_json t =
   Json.Obj
@@ -42,6 +66,16 @@ let field name conv j =
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
 
+let native_of_json j =
+  let* backend = field "backend" Json.to_stringv j in
+  let* domains = field "domains" Json.to_int j in
+  let* ops_per_sec = field "ops_per_sec" Json.to_float j in
+  let* p50_us = field "p50_us" Json.to_float j in
+  let* p99_us = field "p99_us" Json.to_float j in
+  let* p999_us = field "p999_us" Json.to_float j in
+  let* abort_rate = field "abort_rate" Json.to_float j in
+  Ok { backend; domains; ops_per_sec; p50_us; p99_us; p999_us; abort_rate }
+
 let record_of_json j =
   let* workload = field "workload" Json.to_stringv j in
   let* n = field "n" Json.to_int j in
@@ -50,7 +84,14 @@ let record_of_json j =
   let* p99_steps = field "p99_steps" Json.to_float j in
   let* max_interval_contention = field "max_interval_contention" Json.to_int j in
   let* schedules_per_sec = field "schedules_per_sec" Json.to_float j in
-  Ok { workload; n; runs; p50_steps; p99_steps; max_interval_contention; schedules_per_sec }
+  let* native =
+    match Json.member "native" j with
+    | None -> Ok None
+    | Some nj ->
+        let* nv = native_of_json nj in
+        Ok (Some nv)
+  in
+  Ok { workload; n; runs; p50_steps; p99_steps; max_interval_contention; schedules_per_sec; native }
 
 let of_json j =
   let* schema = field "schema" Json.to_stringv j in

@@ -23,7 +23,33 @@
     {!Obs.op_metric}[.om_interval_contention] observed; and
     [schedules_per_sec] is completed runs divided by wall-clock time.
     {!validate} is the schema check CI runs against freshly emitted
-    files. *)
+    files.
+
+    Records produced by the native load harness ([scs load]) carry an
+    additional [native] sub-object with wall-clock metrics measured on
+    real OCaml 5 domains:
+
+    {v
+    "native": { "backend": "native", "domains": <int>,
+                "ops_per_sec": <float>,
+                "p50_us": <float>, "p99_us": <float>, "p999_us": <float>,
+                "abort_rate": <float> }
+    v}
+
+    The sub-object is optional, so files emitted before the native
+    harness existed still validate under the same schema tag; for
+    native records the simulator-step fields are zeroed and
+    [schedules_per_sec] mirrors [ops_per_sec] (see [docs/metrics.md]). *)
+
+type native = {
+  backend : string;  (** ["native"] *)
+  domains : int;  (** real domains driving the closed loop *)
+  ops_per_sec : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;  (** per-op latency quantiles, microseconds *)
+  abort_rate : float;  (** fast-path aborts per update operation *)
+}
 
 type record = {
   workload : string;
@@ -33,6 +59,7 @@ type record = {
   p99_steps : float;
   max_interval_contention : int;
   schedules_per_sec : float;
+  native : native option;
 }
 
 type t = { run : string; seed : int; records : record list }

@@ -74,6 +74,8 @@ module Make (P : Scs_prims.Prims_intf.S) = struct
       m_apply = (fun ~pid ?init Objects.Test_and_set -> apply t ~pid init);
     }
 
+  let value_read t = P.read t.v
+
   let harness_reset t =
     P.write t.p None;
     P.write t.s None;

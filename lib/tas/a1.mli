@@ -51,6 +51,11 @@ module Make (P : Scs_prims.Prims_intf.S) : sig
 
   val as_module : t -> (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Outcome.m
 
+  val value_read : t -> bool
+  (** One read of [V]: whether the module has visibly been won. Not part
+      of the paper's interface; the load harness's read operations use it
+      as the TAS analogue of a YCSB read. *)
+
   val harness_reset : t -> unit
   (** Reinitialise all four registers. {b Not} part of the algorithm —
       only sound while no operation is in flight; used by the wall-clock

@@ -17,5 +17,6 @@ module Make (P : Scs_prims.Prims_intf.S) = struct
       m_apply = (fun ~pid ?init Objects.Test_and_set -> apply t ~pid init);
     }
 
+  let value_read t = P.tas_read t.t
   let harness_reset t = P.tas_reset t.t
 end

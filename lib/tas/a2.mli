@@ -19,6 +19,9 @@ module Make (P : Scs_prims.Prims_intf.S) : sig
 
   val as_module : t -> (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Outcome.m
 
+  val value_read : t -> bool
+  (** [tas_read] of the hardware object (a read, not an RMW). *)
+
   val harness_reset : t -> unit
   (** Reset the hardware object (harness use only). *)
 end

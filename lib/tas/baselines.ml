@@ -10,6 +10,7 @@ module Make (P : Scs_prims.Prims_intf.S) = struct
       if P.test_and_set t.t then Objects.Winner else Objects.Loser
 
     let reset t = P.tas_reset t.t
+    let read t = P.tas_read t.t
   end
 
   module Tournament = struct

@@ -18,6 +18,10 @@ module Make (P : Scs_prims.Prims_intf.S) : sig
     val create : name:string -> unit -> t
     val test_and_set : t -> pid:int -> Objects.tas_resp
     val reset : t -> unit
+
+    val read : t -> bool
+    (** [tas_read] of the underlying object (read-only probe, used as the
+        load harness's YCSB-read analogue). *)
   end
 
   module Tournament : sig

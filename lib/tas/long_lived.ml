@@ -40,5 +40,17 @@ module Make (P : Scs_prims.Prims_intf.S) = struct
 
   let read_round h = P.read h.t.count
 
+  let value_read h =
+    let c = P.read h.t.count in
+    if c >= h.t.rounds then false else Os.value_read h.t.arr.(c)
+
   let instance t ~round = t.arr.(round)
+
+  let harness_recycle t =
+    let c = P.read t.count in
+    let hi = if c >= t.rounds then t.rounds - 1 else c in
+    for i = 0 to hi do
+      Os.harness_reset t.arr.(i)
+    done;
+    P.write t.count 0
 end

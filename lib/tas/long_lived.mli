@@ -37,6 +37,18 @@ module Make (P : Scs_prims.Prims_intf.S) : sig
   (** [Count.read()] as a proper shared-memory step (must run inside a
       process fiber on the simulator backend). *)
 
+  val value_read : handle -> bool
+  (** Whether the current round's one-shot instance has visibly been won
+      (a [Count] read plus a {!One_shot.value_read}); the load harness's
+      YCSB-read analogue. [false] once round capacity is exceeded. *)
+
   val instance : t -> round:int -> Os.t
   (** The underlying one-shot instance of a given round (for checkers). *)
+
+  val harness_recycle : t -> unit
+  (** Reinitialise every used round instance and rewind [Count] to 0.
+      {b Not} part of the algorithm — only sound while no operation is in
+      flight and no handle holds [crtWinner]; the load harness calls it at
+      a quiescent barrier so a closed loop can run indefinitely against a
+      bounded round array. *)
 end

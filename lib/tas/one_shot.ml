@@ -30,6 +30,8 @@ module Make (P : Scs_prims.Prims_intf.S) = struct
 
   let as_module t = Outcome.compose (A1m.as_module t.a1) (A2m.as_module t.a2)
 
+  let value_read t = A1m.value_read t.a1 || A2m.value_read t.a2
+
   let harness_reset t =
     A1m.harness_reset t.a1;
     A2m.harness_reset t.a2

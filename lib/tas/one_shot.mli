@@ -41,6 +41,11 @@ module Make (P : Scs_prims.Prims_intf.S) : sig
 
   val as_module : t -> (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Outcome.m
 
+  val value_read : t -> bool
+  (** Whether the composed object has visibly been won: [A1]'s [V] or,
+      failing that, the hardware object's value. Read-only probe used as
+      the YCSB-read analogue by the load harness. *)
+
   val harness_reset : t -> unit
   (** Reinitialise both modules (harness use only, quiescent state). *)
 end

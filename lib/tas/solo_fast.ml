@@ -53,4 +53,13 @@ module Make (P : Scs_prims.Prims_intf.S) = struct
         | Outcome.Abort _ -> assert false)
 
   let test_and_set t ~pid = fst (test_and_set_staged t ~pid)
+
+  let value_read t = P.read t.v || A2m.value_read t.a2
+
+  let harness_reset t =
+    P.write t.p None;
+    P.write t.s None;
+    P.write t.aborted false;
+    P.write t.v false;
+    A2m.harness_reset t.a2
 end

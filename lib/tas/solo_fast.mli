@@ -29,4 +29,12 @@ module Make (P : Scs_prims.Prims_intf.S) : sig
   (** The full composition [A1' ∘ A2]. *)
 
   val test_and_set : t -> pid:int -> Objects.tas_resp
+
+  val value_read : t -> bool
+  (** Whether the object has visibly been won (fast-path [V] or the
+      hardware object) — read-only probe for the load harness. *)
+
+  val harness_reset : t -> unit
+  (** Reinitialise all registers and the hardware object (harness use
+      only, quiescent state). *)
 end

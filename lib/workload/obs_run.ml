@@ -342,4 +342,5 @@ let to_record (a : agg) =
     p99_steps = a.steps.Stats.p99;
     max_interval_contention = a.max_interval_contention;
     schedules_per_sec = a.schedules_per_sec;
+    native = None;
   }

@@ -16,6 +16,9 @@ let () =
       ("universal", Test_universal.tests);
       ("locks", Test_locks.tests);
       ("native", Test_native.tests);
+      ("prims-parity", Test_prims.tests);
+      ("hist", Test_hist.tests);
+      ("load", Test_load.tests);
       ("policy", Test_policy.tests);
       ("properties", Test_props.tests);
       ("fuzz", Test_fuzz.tests);

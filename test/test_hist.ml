@@ -1,0 +1,156 @@
+(* The load harness's log-bucketed latency histogram: known-answer
+   quantiles, bounded relative error, merge associativity/commutativity,
+   overflow behaviour. *)
+
+module Hist = Scs_load.Hist
+
+let test_exact_small () =
+  let h = Hist.create () in
+  for v = 0 to 31 do
+    Hist.record h v
+  done;
+  (* 32 samples 0..31: rank ceil(q*32) picks value rank-1 exactly *)
+  Alcotest.(check int) "p50 exact" 15 (Hist.quantile h 0.5);
+  Alcotest.(check int) "p100 exact" 31 (Hist.quantile h 1.0);
+  Alcotest.(check int) "min" 0 (Hist.min_value h);
+  Alcotest.(check int) "max" 31 (Hist.max_value h);
+  Alcotest.(check int) "count" 32 (Hist.count h);
+  Alcotest.(check int) "total" (31 * 32 / 2) (Hist.total h)
+
+let test_known_answer_quantiles () =
+  let h = Hist.create () in
+  for v = 1 to 100 do
+    Hist.record h v
+  done;
+  (* width-1 and width-2 buckets below 128 keep these exact or off by 1 *)
+  Alcotest.(check int) "p50" 50 (Hist.quantile h 0.5);
+  Alcotest.(check int) "p25" 25 (Hist.quantile h 0.25);
+  (* 99 shares the width-2 bucket [98,99] whose representative is 98 *)
+  Alcotest.(check int) "p99 bucket representative" 98 (Hist.quantile h 0.99);
+  Alcotest.(check int) "p100 overlaps max" 100 (Hist.quantile h 1.0)
+
+let test_relative_error_bound () =
+  (* single-sample histograms: every quantile must resolve the sample
+     to within 1/32 relative error across the whole dynamic range *)
+  let check_value v =
+    let h = Hist.create () in
+    Hist.record h v;
+    let q = Hist.quantile h 0.5 in
+    let err = abs (q - v) in
+    let bound = (v / 32) + 1 in
+    if err > bound then
+      Alcotest.failf "value %d resolved to %d (err %d > bound %d)" v q err bound
+  in
+  let rng = Scs_util.Rng.create 11 in
+  List.iter check_value [ 0; 1; 31; 32; 33; 50; 99; 100; 1023; 1024; 1025 ];
+  for _ = 1 to 2000 do
+    check_value (Scs_util.Rng.int rng ((1 lsl 40) - 1))
+  done
+
+let test_monotone_buckets () =
+  (* recording v then v' > v must never make quantile(1.0) decrease:
+     bucket index is monotone in the value *)
+  let h = Hist.create () in
+  let prev = ref 0 in
+  let v = ref 1 in
+  while !v < 1 lsl 40 do
+    Hist.record h !v;
+    let q = Hist.quantile h 1.0 in
+    if q < !prev then Alcotest.failf "quantile decreased at value %d" !v;
+    prev := q;
+    v := !v * 3 / 2 + 1
+  done
+
+let random_hist seed k =
+  let rng = Scs_util.Rng.create seed in
+  let h = Hist.create () in
+  for _ = 1 to k do
+    Hist.record h (Scs_util.Rng.int rng 5_000_000)
+  done;
+  h
+
+let test_merge_associative_commutative () =
+  let a = random_hist 1 500 and b = random_hist 2 300 and c = random_hist 3 700 in
+  (* (a + b) + c *)
+  let l = Hist.create () in
+  Hist.merge ~into:l a;
+  Hist.merge ~into:l b;
+  Hist.merge ~into:l c;
+  (* a + (b + c) *)
+  let bc = Hist.create () in
+  Hist.merge ~into:bc b;
+  Hist.merge ~into:bc c;
+  let r = Hist.create () in
+  Hist.merge ~into:r a;
+  Hist.merge ~into:r bc;
+  Alcotest.(check bool) "associative" true (Hist.equal l r);
+  (* b + a vs a + b *)
+  let ab = Hist.create () in
+  Hist.merge ~into:ab a;
+  Hist.merge ~into:ab b;
+  let ba = Hist.create () in
+  Hist.merge ~into:ba b;
+  Hist.merge ~into:ba a;
+  Alcotest.(check bool) "commutative" true (Hist.equal ab ba);
+  (* merging empty is the identity *)
+  let id = Hist.create () in
+  Hist.merge ~into:ab id;
+  Alcotest.(check bool) "identity" true (Hist.equal ab ba)
+
+let test_merge_quantiles_match_pooled () =
+  (* quantiles of a merge equal quantiles of recording everything into
+     one histogram *)
+  let pooled = Hist.create () in
+  let parts = List.map (fun s -> random_hist s 400) [ 5; 6; 7; 8 ] in
+  List.iter
+    (fun s ->
+      let rng = Scs_util.Rng.create s in
+      for _ = 1 to 400 do
+        Hist.record pooled (Scs_util.Rng.int rng 5_000_000)
+      done)
+    [ 5; 6; 7; 8 ];
+  let merged = Hist.create () in
+  List.iter (fun p -> Hist.merge ~into:merged p) parts;
+  Alcotest.(check bool) "merged = pooled" true (Hist.equal merged pooled)
+
+let test_overflow () =
+  let h = Hist.create () in
+  Hist.record h 10;
+  Hist.record h (1 lsl 50);
+  Alcotest.(check int) "overflow count" 1 (Hist.overflow h);
+  Alcotest.(check int) "max tracked exactly" (1 lsl 50) (Hist.max_value h);
+  (* the overflow bucket answers with the exact maximum *)
+  Alcotest.(check int) "overflow quantile = max" (1 lsl 50) (Hist.quantile h 1.0);
+  Alcotest.(check int) "p50 still resolves below" 10 (Hist.quantile h 0.5);
+  (* just below the overflow threshold lands in the last regular bucket *)
+  let g = Hist.create () in
+  let v = (1 lsl 40) - 1 in
+  Hist.record g v;
+  Alcotest.(check int) "no overflow below 2^40" 0 (Hist.overflow g);
+  let q = Hist.quantile g 1.0 in
+  if abs (q - v) > (v / 32) + 1 then Alcotest.failf "boundary value resolved to %d" q
+
+let test_negative_clamp_and_clear () =
+  let h = Hist.create () in
+  Hist.record h (-5);
+  Alcotest.(check int) "clamped to 0" 0 (Hist.quantile h 1.0);
+  Alcotest.(check int) "min 0" 0 (Hist.min_value h);
+  Alcotest.(check int) "total 0" 0 (Hist.total h);
+  Hist.clear h;
+  Alcotest.(check int) "cleared count" 0 (Hist.count h);
+  Alcotest.(check int) "empty quantile" 0 (Hist.quantile h 0.5);
+  Alcotest.(check bool) "cleared equals fresh" true (Hist.equal h (Hist.create ()))
+
+let tests =
+  [
+    Alcotest.test_case "exact below 32" `Quick test_exact_small;
+    Alcotest.test_case "known-answer quantiles" `Quick test_known_answer_quantiles;
+    Alcotest.test_case "1/32 relative error bound" `Quick test_relative_error_bound;
+    Alcotest.test_case "bucket index monotone" `Quick test_monotone_buckets;
+    Alcotest.test_case "merge associative/commutative" `Quick
+      test_merge_associative_commutative;
+    Alcotest.test_case "merge equals pooled recording" `Quick
+      test_merge_quantiles_match_pooled;
+    Alcotest.test_case "overflow bucket" `Quick test_overflow;
+    Alcotest.test_case "negative clamp and clear" `Quick test_negative_clamp_and_clear;
+  ]

@@ -1,20 +1,35 @@
 (* The native OCaml 5 backend: the same algorithm functors running on
    [Atomic] under real [Domain] parallelism. Safety properties that can be
    checked without a global clock: winner uniqueness, lock mutual
-   exclusion, counter exactness. *)
+   exclusion, counter exactness, consensus agreement.
+
+   The quick section runs everywhere. The stress section scales 2-8
+   domains and is auto-skipped (with a visible notice) on hosts where
+   [Domain.recommended_domain_count () < 2] — there domains only
+   time-share, so the extra interleaving coverage the stress suite pays
+   for is not actually exercised; set SCS_NATIVE_STRESS=1 to force it. *)
 
 open Scs_spec
 module P = Scs_prims.Native_prims
 module OS = Scs_tas.One_shot.Make (P)
+module SF = Scs_tas.Solo_fast.Make (P)
 module LL = Scs_tas.Long_lived.Make (P)
 module B = Scs_tas.Baselines.Make (P)
 module L = Scs_tas.Locks.Make (P)
+module Ch = Scs_consensus.Chain.Make (P)
+module Sc = Scs_consensus.Split_consensus.Make (P)
+module Ab = Scs_consensus.Abortable_bakery.Make (P)
+module Cc = Scs_consensus.Cas_consensus.Make (P)
+module CI = Scs_consensus.Consensus_intf
+module Outcome = Scs_composable.Outcome
 
 let n_domains = 4
 
-let spawn_all f =
-  let domains = List.init n_domains (fun pid -> Domain.spawn (fun () -> f pid)) in
+let spawn_n n f =
+  let domains = List.init n (fun pid -> Domain.spawn (fun () -> f pid)) in
   List.map Domain.join domains
+
+let spawn_all f = spawn_n n_domains f
 
 let test_one_shot_unique_winner () =
   for _ = 1 to 50 do
@@ -111,6 +126,147 @@ let test_native_prims_semantics () =
   Alcotest.(check bool) "cas succeeds" true (P.compare_and_swap c ~expect:None ~update:(Some 1));
   Alcotest.(check bool) "cas fails" false (P.compare_and_swap c ~expect:None ~update:(Some 2))
 
+(* ------------------------------------------------------------------ *)
+(* 2-8 domain stress suite                                             *)
+(* ------------------------------------------------------------------ *)
+
+let stress_ns = [ 2; 4; 8 ]
+
+let stress body () =
+  let cores = Domain.recommended_domain_count () in
+  if cores < 2 && Sys.getenv_opt "SCS_NATIVE_STRESS" = None then begin
+    Printf.printf
+      "SKIP native stress: Domain.recommended_domain_count () = %d < 2 — domains \
+       would only time-share on this host; set SCS_NATIVE_STRESS=1 to force.\n%!"
+      cores;
+    ()
+  end
+  else body ()
+
+let mk_chain ~n name =
+  Ch.make ~name
+    [
+      Sc.instance (Sc.create ~name:(name ^ ".split") ());
+      Ab.instance (Ab.create ~name:(name ^ ".bakery") ~n ());
+      Cc.instance (Cc.create ~name:(name ^ ".cas") ());
+    ]
+
+let test_stress_chain_agreement () =
+  List.iter
+    (fun n ->
+      for iter = 1 to 15 do
+        let chain = mk_chain ~n (Printf.sprintf "stress.chain.%d.%d" n iter) in
+        let outcomes = spawn_n n (fun pid -> chain.CI.run ~pid ~old:None (pid + 1)) in
+        let decided =
+          List.filter_map
+            (function Outcome.Commit (Some v) -> Some v | _ -> None)
+            outcomes
+        in
+        (* the chain ends in CAS consensus: nobody aborts, all agree *)
+        Alcotest.(check int) "all commit" n (List.length decided);
+        match decided with
+        | [] -> Alcotest.fail "no decision"
+        | d :: rest ->
+            List.iter
+              (fun v -> if v <> d then Alcotest.failf "disagreement: %d vs %d" v d)
+              rest;
+            if d < 1 || d > n then Alcotest.failf "decided %d not proposed" d
+      done)
+    stress_ns
+
+let test_stress_solo_fast_epochs () =
+  (* one object reused across epochs through the quiescent harness_reset
+     — the exact lifecycle the load harness's recycle barrier runs *)
+  List.iter
+    (fun n ->
+      let sf = SF.create ~name:"stress.sf" () in
+      for _epoch = 1 to 12 do
+        let results = spawn_n n (fun pid -> SF.test_and_set sf ~pid) in
+        let winners = List.filter (fun r -> r = Objects.Winner) results in
+        Alcotest.(check int) "one winner per epoch" 1 (List.length winners);
+        Alcotest.(check bool) "won value visible" true (SF.value_read sf);
+        SF.harness_reset sf;
+        Alcotest.(check bool) "reset clears value" false (SF.value_read sf)
+      done)
+    stress_ns
+
+let test_stress_long_lived_recycle () =
+  (* 8-domain long-lived TAS driven past its round array twice via
+     harness_recycle; per-round winner uniqueness must hold per epoch *)
+  let n = 8 and iters = 12 in
+  let rounds = (n * iters) + 2 in
+  let ll = LL.create ~name:"stress.ll" ~rounds () in
+  let run_epoch () =
+    let per_round = Array.make rounds 0 in
+    let mutex = Mutex.create () in
+    let _ =
+      spawn_n n (fun pid ->
+          let h = LL.handle ll ~pid in
+          for _ = 1 to iters do
+            let resp, _, round = LL.test_and_set_info h in
+            if resp = Objects.Winner then begin
+              Mutex.lock mutex;
+              per_round.(round) <- per_round.(round) + 1;
+              Mutex.unlock mutex;
+              LL.reset h
+            end
+          done)
+    in
+    Array.iteri
+      (fun i w -> if w > 1 then Alcotest.failf "round %d has %d winners" i w)
+      per_round
+  in
+  run_epoch ();
+  (* quiescent: all domains joined, no handle holds the win past reset *)
+  LL.harness_recycle ll;
+  run_epoch ()
+
+let test_stress_one_shot_arena () =
+  (* keyed arena, every domain hits every key: per-key winner uniqueness
+     under full contention, the invariant the load harness's one-shot
+     family relies on *)
+  List.iter
+    (fun n ->
+      let keys = 4 in
+      for _iter = 1 to 10 do
+        let arena =
+          Array.init keys (fun k -> OS.create ~name:(Printf.sprintf "arena[%d]" k) ())
+        in
+        let wins = spawn_n n (fun pid ->
+            let w = Array.make keys 0 in
+            for k = 0 to keys - 1 do
+              (* stagger start keys so contention hits every key *)
+              let key = (k + pid) mod keys in
+              if OS.test_and_set arena.(key) ~pid = Objects.Winner then
+                w.(key) <- w.(key) + 1
+            done;
+            w)
+        in
+        for k = 0 to keys - 1 do
+          let total = List.fold_left (fun acc w -> acc + w.(k)) 0 wins in
+          Alcotest.(check int) "one winner per key" 1 total
+        done
+      done)
+    stress_ns
+
+let test_stress_speculative_lock () =
+  List.iter
+    (fun n ->
+      let lock = L.Speculative.create ~name:"stress.l" ~rounds:200_000 () in
+      let counter = ref 0 in
+      let iters = 500 in
+      let _ =
+        spawn_n n (fun pid ->
+            let h = L.Speculative.handle lock ~pid in
+            for _ = 1 to iters do
+              L.Speculative.acquire h;
+              counter := !counter + 1;
+              L.Speculative.release h
+            done)
+      in
+      Alcotest.(check int) "no lost updates" (n * iters) !counter)
+    stress_ns
+
 let tests =
   [
     Alcotest.test_case "native prims semantics" `Quick test_native_prims_semantics;
@@ -124,4 +280,14 @@ let tests =
     Alcotest.test_case "speculative lock counter (4 domains)" `Quick
       test_speculative_lock_counter;
     Alcotest.test_case "ttas lock counter (4 domains)" `Quick test_ttas_lock_counter;
+    Alcotest.test_case "stress: chain agreement (2-8 domains)" `Slow
+      (stress test_stress_chain_agreement);
+    Alcotest.test_case "stress: solo-fast reset epochs (2-8 domains)" `Slow
+      (stress test_stress_solo_fast_epochs);
+    Alcotest.test_case "stress: long-lived recycle (8 domains)" `Slow
+      (stress test_stress_long_lived_recycle);
+    Alcotest.test_case "stress: one-shot arena winners (2-8 domains)" `Slow
+      (stress test_stress_one_shot_arena);
+    Alcotest.test_case "stress: speculative lock counter (2-8 domains)" `Slow
+      (stress test_stress_speculative_lock);
   ]

@@ -317,6 +317,27 @@ let test_trajectory_roundtrip () =
             p99_steps = 9.5;
             max_interval_contention = 2;
             schedules_per_sec = 123.4;
+            native = None;
+          };
+          {
+            Trajectory.workload = "native:speculative:r0.50-zipf0.99-k16";
+            n = 4;
+            runs = 100000;
+            p50_steps = 0.0;
+            p99_steps = 0.0;
+            max_interval_contention = 0;
+            schedules_per_sec = 81234.5;
+            native =
+              Some
+                {
+                  Trajectory.backend = "native";
+                  domains = 4;
+                  ops_per_sec = 81234.5;
+                  p50_us = 1.2;
+                  p99_us = 9.8;
+                  p999_us = 40.0;
+                  abort_rate = 0.05;
+                };
           };
         ];
     }
@@ -346,6 +367,11 @@ let test_trajectory_validation_errors () =
   reject "record missing field"
     {|{"schema":"scs.bench.trajectory/1","run":"x","seed":1,
        "records":[{"workload":"a1","n":2,"runs":5}]}|};
+  reject "native sub-record missing field"
+    {|{"schema":"scs.bench.trajectory/1","run":"x","seed":1,
+       "records":[{"workload":"w","n":2,"runs":5,"p50_steps":1.0,"p99_steps":2.0,
+                   "max_interval_contention":0,"schedules_per_sec":1.0,
+                   "native":{"backend":"native","domains":2}}]}|};
   match
     Trajectory.validate
       {|{"schema":"scs.bench.trajectory/1","run":"x","seed":1,"records":[]}|}
