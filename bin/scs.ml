@@ -48,6 +48,26 @@ let make_policy = function
   | `Sequential -> fun _ -> Policy.sequential ()
   | `Solo -> fun _ -> Policy.solo 0
 
+let backend_conv =
+  let parse s =
+    match Scs_prims.Backend.of_string s with
+    | Ok Scs_prims.Backend.Native ->
+        Error (`Msg "native is not a simulator backend (use `scs load')")
+    | Ok b -> Ok b
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Scs_prims.Backend.name b))
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Scs_prims.Backend.default
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Simulator primitive backend: $(b,sim-lin) (atomic registers) or \
+           $(b,sim-sc)[:LAG] (per-object sequentially-consistent registers that may \
+           serve reads up to LAG writes stale; RMW objects stay atomic).")
+
 (* ---- list -------------------------------------------------------------- *)
 
 let list_cmd =
@@ -93,9 +113,11 @@ let simulate_cmd =
   let trace_arg =
     Arg.(value & flag & info [ "trace" ] ~doc:"Dump the shared-memory step trace.")
   in
-  let run n seed algo policy trace =
-    let r = Tas_run.one_shot ~seed ~n ~algo ~policy:(make_policy policy) () in
-    Printf.printf "algorithm: %s, n=%d, seed=%d\n\n" (Tas_run.algo_name algo) n seed;
+  let run n seed algo policy backend trace =
+    let r = Tas_run.one_shot ~seed ~backend ~n ~algo ~policy:(make_policy policy) () in
+    Printf.printf "algorithm: %s, n=%d, seed=%d, backend=%s\n\n" (Tas_run.algo_name algo) n
+      seed
+      (Scs_prims.Backend.name backend);
     List.iter
       (fun (o : Tas_run.op_record) ->
         Printf.printf "p%-2d -> %-6s via %-9s steps=%-3d rmws=%d raws=%d [%d,%d]\n"
@@ -115,7 +137,7 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one simulated one-shot TAS execution and check it.")
-    Term.(const run $ n_arg $ seed_arg $ tas_algo_arg $ policy_arg $ trace_arg)
+    Term.(const run $ n_arg $ seed_arg $ tas_algo_arg $ policy_arg $ backend_arg $ trace_arg)
 
 (* ---- consensus ---------------------------------------------------------- *)
 
@@ -135,9 +157,11 @@ let consensus_cmd =
       & info [ "algo" ] ~docv:"ALGO"
           ~doc:"Consensus: $(b,split), $(b,bakery), $(b,cas) or $(b,chain).")
   in
-  let run n seed algo policy =
-    let r = Cons_run.run ~seed ~n ~algo ~policy:(make_policy policy) () in
-    Printf.printf "algorithm: %s, n=%d, seed=%d\n\n" (Cons_run.algo_name algo) n seed;
+  let run n seed algo policy backend =
+    let r = Cons_run.run ~seed ~backend ~n ~algo ~policy:(make_policy policy) () in
+    Printf.printf "algorithm: %s, n=%d, seed=%d, backend=%s\n\n" (Cons_run.algo_name algo) n
+      seed
+      (Scs_prims.Backend.name backend);
     List.iter
       (fun (o : Cons_run.op) ->
         let outcome =
@@ -154,7 +178,7 @@ let consensus_cmd =
   in
   Cmd.v
     (Cmd.info "consensus" ~doc:"Run one simulated abortable-consensus execution.")
-    Term.(const run $ n_arg $ seed_arg $ algo_arg $ policy_arg)
+    Term.(const run $ n_arg $ seed_arg $ algo_arg $ policy_arg $ backend_arg)
 
 (* ---- check --------------------------------------------------------------- *)
 
@@ -217,14 +241,16 @@ let explore_cmd =
       & info [ "stats" ]
           ~doc:"Print simulator-pool statistics (fresh creates vs rewind reuses).")
   in
-  let run n algo budget por domains pool_stats =
+  let run n algo budget por domains backend pool_stats =
     let outcome, bad =
-      Tas_run.explore_one_shot ~max_schedules:budget ~por ~domains ~n ~algo ()
+      Tas_run.explore_one_shot ~max_schedules:budget ~por ~domains ~backend ~n ~algo ()
     in
     Printf.printf
-      "%s, n=%d: explored %d schedules%s; pruned %d; %d truncated runs; %d turns in \
-       %.2fs; non-linearizable: %d\n"
-      (Tas_run.algo_name algo) n outcome.Explore.schedules
+      "%s, n=%d, backend=%s: explored %d schedules%s; pruned %d; %d truncated runs; %d \
+       turns in %.2fs; non-linearizable: %d\n"
+      (Tas_run.algo_name algo) n
+      (Scs_prims.Backend.name backend)
+      outcome.Explore.schedules
       (if outcome.Explore.truncated then " (budget-truncated)" else " (complete)")
       outcome.Explore.pruned outcome.Explore.truncated_runs outcome.Explore.steps_replayed
       outcome.Explore.wall_s bad;
@@ -238,7 +264,7 @@ let explore_cmd =
        ~doc:
          "Exhaustively enumerate interleavings of a one-shot TAS run and check strict           linearizability on each (bounded model checking).")
     Term.(
-      const run $ n_arg $ tas_algo_arg $ budget_arg $ por_arg $ domains_arg
+      const run $ n_arg $ tas_algo_arg $ budget_arg $ por_arg $ domains_arg $ backend_arg
       $ stats_flag_arg)
 
 (* ---- fuzz ------------------------------------------------------------------ *)
@@ -343,8 +369,8 @@ let fuzz_cmd =
           ~doc:"Print simulator-pool statistics (fresh creates vs pooled reuses, \
                 peak arena sizes) after each report.")
   in
-  let run workload list_workloads n_opt runs budget max_violations seed out no_shrink
-      check_domains gen_domains pool_stats =
+  let run workload list_workloads n_opt runs budget max_violations seed backend out
+      no_shrink check_domains gen_domains pool_stats =
     if list_workloads then begin
       List.iter
         (fun (w : Fuzz_run.t) ->
@@ -369,7 +395,7 @@ let fuzz_cmd =
       (fun (w : Fuzz_run.t) ->
         let n = Option.value n_opt ~default:w.Fuzz_run.default_n in
         let report =
-          Fuzz_run.fuzz ?time_budget:budget ~runs ~max_violations ~seed
+          Fuzz_run.fuzz ~backend ?time_budget:budget ~runs ~max_violations ~seed
             ~check_domains ~gen_domains w ~n
         in
         print_fuzz_report ~pool_stats report;
@@ -382,7 +408,8 @@ let fuzz_cmd =
               if no_shrink then (v.Fuzz.v_schedule, v.Fuzz.v_crashes)
               else begin
                 let (sched, crs), (st : Shrink.stats) =
-                  Fuzz_run.shrink w ~n ~schedule:v.Fuzz.v_schedule ~crashes:v.Fuzz.v_crashes
+                  Fuzz_run.shrink ~backend w ~n ~schedule:v.Fuzz.v_schedule
+                    ~crashes:v.Fuzz.v_crashes
                 in
                 Printf.printf
                   "shrunk %d -> %d turns (%d replays, %d reductions, %d drifts, %d rounds)\n"
@@ -414,8 +441,8 @@ let fuzz_cmd =
           when violations were found).")
     Term.(
       const run $ workload_arg $ list_arg $ n_opt_arg $ runs_arg $ budget_arg $ max_viol_arg
-      $ seed_arg $ out_arg $ no_shrink_arg $ check_domains_arg $ gen_domains_arg
-      $ stats_flag_arg)
+      $ seed_arg $ backend_arg $ out_arg $ no_shrink_arg $ check_domains_arg
+      $ gen_domains_arg $ stats_flag_arg)
 
 (* ---- stats ----------------------------------------------------------------- *)
 
@@ -485,8 +512,8 @@ let stats_cmd =
             "Use the legacy fresh-simulator-per-run engine instead of the pooled \
              reset engine (for before/after comparisons).")
   in
-  let run target list_targets ns n runs seed policy crash_prob solo json run_id objects
-      gen_domains no_pool =
+  let run target list_targets ns n runs seed policy backend crash_prob solo json run_id
+      objects gen_domains no_pool =
     if list_targets then begin
       List.iter print_endline (Obs_run.target_names ());
       exit 0
@@ -502,9 +529,9 @@ let stats_cmd =
     let aggs =
       List.map
         (fun n ->
-          if solo then Obs_run.solo target ~n
+          if solo then Obs_run.solo ~backend target ~n
           else
-            Obs_run.measure ~runs ~seed ~policy:(make_policy policy) ~crash_prob
+            Obs_run.measure ~runs ~seed ~backend ~policy:(make_policy policy) ~crash_prob
               ~gen_domains ~pooled:(not no_pool) target ~n)
         ns
     in
@@ -580,8 +607,8 @@ let stats_cmd =
           optionally emitted as a validated bench-trajectory JSON (docs/metrics.md).")
     Term.(
       const run $ target_arg $ list_targets_arg $ ns_arg $ n_arg $ runs_arg $ seed_arg
-      $ policy_arg $ crash_prob_arg $ solo_arg $ json_arg $ run_id_arg $ objects_arg
-      $ gen_domains_arg $ no_pool_arg)
+      $ policy_arg $ backend_arg $ crash_prob_arg $ solo_arg $ json_arg $ run_id_arg
+      $ objects_arg $ gen_domains_arg $ no_pool_arg)
 
 (* ---- load ------------------------------------------------------------------ *)
 
@@ -837,6 +864,146 @@ let load_cmd =
       $ mix_arg $ read_ratio_arg $ keys_arg $ skew_arg $ theta_arg $ rounds_arg $ seed_arg
       $ json_arg $ run_id_arg $ compare_sim_arg $ sim_runs_arg)
 
+(* ---- difffuzz -------------------------------------------------------------- *)
+
+let difffuzz_cmd =
+  let workload_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Workload to diff-fuzz (see $(b,scs fuzz --list-workloads)); $(b,all) covers \
+             every workload that is expected to hold on atomic registers.")
+  in
+  let n_opt_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "n"; "processes" ] ~docv:"N" ~doc:"Process count (default: per workload).")
+  in
+  let runs_arg =
+    Arg.(value & opt int 200 & info [ "runs" ] ~docv:"K" ~doc:"Runs per schedule policy.")
+  in
+  let lag_arg =
+    Arg.(
+      value
+      & opt int Scs_prims.Sc_prims.default_lag
+      & info [ "sc-lag" ] ~docv:"LAG"
+          ~doc:
+            "Staleness bound of the SC backend: reads may return a value up to $(docv) \
+             writes old. $(b,0) makes the SC backend observationally atomic (every run \
+             must then classify as identical-verdict).")
+  in
+  let max_findings_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-findings" ] ~docv:"M"
+          ~doc:"Collect at most $(docv) SC-only findings per workload.")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Emit raw SC-only schedules unshrunk.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "out" ] ~docv:"DIR" ~doc:"Directory for emitted .scsrepro artifacts.")
+  in
+  let expect_identical_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-identical" ]
+          ~doc:
+            "Exit 1 if any run classifies divergently (sc-only or lin-only). With \
+             $(b,--sc-lag 0) this is the differential harness's own soundness gate: the \
+             SC backend must be verdict-identical to the linearizable one.")
+  in
+  let run workload n_opt runs seed lag max_findings no_shrink out expect_identical =
+    let workloads =
+      match workload with
+      | "all" -> List.filter (fun w -> not w.Fuzz_run.expect_failures) Fuzz_run.all
+      | name -> (
+          match Fuzz_run.find name with
+          | Some w -> [ w ]
+          | None ->
+              Printf.eprintf "unknown workload %s (try `scs fuzz --list-workloads')\n" name;
+              exit 1)
+    in
+    let divergent = ref 0 and found = ref 0 in
+    List.iter
+      (fun (w : Fuzz_run.t) ->
+        let n = Option.value n_opt ~default:w.Fuzz_run.default_n in
+        let report =
+          Diff_fuzz.run ~runs ~seed ~max_findings ~shrink:(not no_shrink) w ~n ~lag
+        in
+        let rows =
+          List.map
+            (fun (s : Diff_fuzz.policy_stats) ->
+              [
+                s.Diff_fuzz.dp_policy;
+                string_of_int s.Diff_fuzz.dp_runs;
+                string_of_int s.Diff_fuzz.dp_both_pass;
+                string_of_int s.Diff_fuzz.dp_both_violate;
+                string_of_int s.Diff_fuzz.dp_sc_only;
+                string_of_int s.Diff_fuzz.dp_lin_only;
+                string_of_int s.Diff_fuzz.dp_skipped;
+              ])
+            report.Diff_fuzz.dr_stats
+        in
+        Scs_util.Table.print
+          ~title:
+            (Printf.sprintf "difffuzz %s n=%d sc-lag=%d seed=%d" report.Diff_fuzz.dr_workload
+               n lag seed)
+          ~header:
+            [ "policy"; "runs"; "both-pass"; "both-viol"; "sc-only"; "lin-only"; "skip" ]
+          rows;
+        Printf.printf "sc-only rate: %.4f violations/run\n" (Diff_fuzz.sc_only_rate report);
+        List.iter
+          (fun (s : Diff_fuzz.policy_stats) ->
+            divergent := !divergent + s.Diff_fuzz.dp_sc_only + s.Diff_fuzz.dp_lin_only)
+          report.Diff_fuzz.dr_stats;
+        List.iter
+          (fun (f : Diff_fuzz.finding) ->
+            incr found;
+            Printf.printf
+              "\nSC-only violation in %s (sc-lag %d) under %s (run seed %d): %s\n"
+              f.Diff_fuzz.df_workload f.Diff_fuzz.df_lag f.Diff_fuzz.df_policy
+              f.Diff_fuzz.df_seed f.Diff_fuzz.df_error;
+            (match f.Diff_fuzz.df_shrink with
+            | Some (st : Shrink.stats) ->
+                Printf.printf
+                  "shrunk %d -> %d turns (%d replays, %d reductions, %d drifts, %d rounds)\n"
+                  st.Shrink.orig_len st.Shrink.final_len st.Shrink.attempts
+                  st.Shrink.accepted st.Shrink.drifted st.Shrink.rounds
+            | None -> ());
+            print_endline
+              (Fuzz.render_lanes ~n ~schedule:f.Diff_fuzz.df_schedule ~crashes:[] ());
+            let repro = Diff_fuzz.repro_of_finding w f in
+            let path =
+              Filename.concat out
+                (Printf.sprintf "%s-sc%d-n%d-%d.scsrepro" f.Diff_fuzz.df_workload
+                   f.Diff_fuzz.df_lag n f.Diff_fuzz.df_seed)
+            in
+            Fuzz.Repro.save path repro;
+            Printf.printf "repro written to %s (replay with `scs replay')\n" path)
+          report.Diff_fuzz.dr_findings;
+        print_newline ())
+      workloads;
+    if expect_identical && !divergent > 0 then begin
+      Printf.eprintf "expected identical verdicts, got %d divergent run(s)\n" !divergent;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "difffuzz"
+       ~doc:
+         "Differential fuzzing across consistency models: replay the same seeded schedule \
+          policies on atomic and on per-object sequentially-consistent registers, classify \
+          each verdict pair, and shrink SC-only violations — minimal witnesses that \
+          composed algorithms lose their guarantees when base registers are only \
+          per-object SC, even though every individual register's history is SC.")
+    Term.(
+      const run $ workload_arg $ n_opt_arg $ runs_arg $ seed_arg $ lag_arg
+      $ max_findings_arg $ no_shrink_arg $ out_arg $ expect_identical_arg)
+
 (* ---- replay ---------------------------------------------------------------- *)
 
 let replay_cmd =
@@ -851,11 +1018,11 @@ let replay_cmd =
     List.iter
       (fun file ->
         let r = Fuzz.Repro.load file in
-        match Fuzz_run.find r.Fuzz.Repro.workload with
+        match Fuzz_run.find_qualified r.Fuzz.Repro.workload with
         | None ->
             Printf.eprintf "%s: unknown workload %s\n" file r.Fuzz.Repro.workload;
             failed := true
-        | Some w ->
+        | Some (w, backend) ->
             let n = r.Fuzz.Repro.n in
             if lanes then
               print_endline
@@ -863,7 +1030,7 @@ let replay_cmd =
                    ~title:(Printf.sprintf "%s (%s)" file r.Fuzz.Repro.error)
                    ~n ~schedule:r.Fuzz.Repro.schedule ~crashes:r.Fuzz.Repro.crashes ());
             let outcome =
-              Fuzz_run.replay w ~n ~schedule:r.Fuzz.Repro.schedule
+              Fuzz_run.replay ~backend w ~n ~schedule:r.Fuzz.Repro.schedule
                 ~crashes:r.Fuzz.Repro.crashes
             in
             let describe =
@@ -915,6 +1082,7 @@ let () =
             check_cmd;
             explore_cmd;
             fuzz_cmd;
+            difffuzz_cmd;
             load_cmd;
             replay_cmd;
             stats_cmd;

@@ -139,6 +139,125 @@ let check_operations ?(mode = Scalable) ?budget (spec : _ Spec.t) ops =
 let check_events ?mode ?budget spec evs =
   check_operations ?mode ?budget spec (Trace.operations evs)
 
+(* ---- sequential consistency ------------------------------------------- *)
+
+(* SC membership drops linearizability's real-time constraint: a witness
+   is any total order of the operations that respects each process's
+   program order and the sequential spec. The search is therefore a
+   DFS over merges of the per-process program-order sequences — at each
+   node the candidates are each process's next unconsumed operation —
+   with the same completed/pending treatment as [check_operations]
+   (a committed op must reproduce its response; a pending/aborted op may
+   take effect or be dropped, either way consuming its program-order
+   slot). Memoizing on (consumed set, state) stays sound: the consumed
+   set is prefix-closed per process, so it determines every process's
+   position, and the spec is deterministic.
+
+   Only meaningful on well-formed histories (each process's operations
+   sequential, i.e. program order is total per pid); on ill-formed input
+   the checker still terminates but overlapping same-pid operations are
+   ordered by invocation time, which is an arbitrary strengthening. *)
+let check_sc_operations ?(mode = Scalable) ?budget (spec : _ Spec.t) ops =
+  let n_all = List.length ops in
+  (match mode with
+  | Legacy when n_all > max_operations -> raise (Capacity_exceeded n_all)
+  | Legacy | Scalable -> ());
+  (* per-process program-order sequences *)
+  let by_pid = Hashtbl.create 8 in
+  List.iter
+    (fun (o : _ Trace.operation) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_pid o.Trace.op_pid) in
+      Hashtbl.replace by_pid o.Trace.op_pid (o :: cur))
+    ops;
+  let procs =
+    Hashtbl.fold (fun pid l acc -> (pid, l) :: acc) by_pid []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+    |> List.map (fun (_, l) ->
+           let a = Array.of_list l in
+           Array.sort
+             (fun (a : _ Trace.operation) b -> compare a.Trace.invoke_seq b.Trace.invoke_seq)
+             a;
+           a)
+    |> Array.of_list
+  in
+  let np = Array.length procs in
+  let base = Array.make (np + 1) 0 in
+  for p = 0 to np - 1 do
+    base.(p + 1) <- base.(p) + Array.length procs.(p)
+  done;
+  let nc =
+    List.fold_left
+      (fun acc (o : _ Trace.operation) ->
+        match o.Trace.outcome with Trace.Committed _ -> acc + 1 | _ -> acc)
+      0 ops
+  in
+  if nc = 0 then true
+  else begin
+    (* consumed set: bit [base.(p) + i] is process p's i-th operation *)
+    let mask = Bitset.create ~bits:n_all in
+    let pos = Array.make np 0 in
+    let memo = Hashtbl.create 1024 in
+    let seen state =
+      let h = (Bitset.hash mask * 0x9E3779B1) lxor spec.Spec.hash_state state in
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt memo h) in
+      if
+        List.exists (fun (m, s) -> Bitset.equal m mask && spec.Spec.equal_state s state) bucket
+      then true
+      else begin
+        Hashtbl.replace memo h ((Bitset.copy mask, state) :: bucket);
+        false
+      end
+    in
+    let nodes = ref 0 in
+    let spend () =
+      match budget with
+      | Some b ->
+          incr nodes;
+          if !nodes > b then raise (Search_budget_exceeded b)
+      | None -> ()
+    in
+    let rec search state done_c =
+      spend ();
+      if done_c = nc then true
+      else if seen state then false
+      else begin
+        let rec try_proc p =
+          p < np
+          && ((let i = pos.(p) in
+               i < Array.length procs.(p)
+               && begin
+                    let (o : _ Trace.operation) = procs.(p).(i) in
+                    let bit = base.(p) + i in
+                    let payload = Request.payload o.Trace.op_req in
+                    let advance done_c' state' =
+                      pos.(p) <- i + 1;
+                      Bitset.set mask bit;
+                      let r = search state' done_c' in
+                      Bitset.clear mask bit;
+                      pos.(p) <- i;
+                      r
+                    in
+                    match o.Trace.outcome with
+                    | Trace.Committed { resp; _ } ->
+                        let state', resp' = spec.Spec.apply state payload in
+                        spec.Spec.equal_resp resp' resp && advance (done_c + 1) state'
+                    | Trace.Aborted _ | Trace.Pending ->
+                        (* may have taken effect, or may be dropped *)
+                        (let state', _ = spec.Spec.apply state payload in
+                         advance done_c state')
+                        || advance done_c state
+                  end)
+              || try_proc (p + 1))
+        in
+        try_proc 0
+      end
+    in
+    search spec.Spec.init 0
+  end
+
+let check_sc_events ?mode ?budget spec evs =
+  check_sc_operations ?mode ?budget spec (Trace.operations evs)
+
 (* ---- compositional front-end ------------------------------------------ *)
 
 let partition ~key ops =

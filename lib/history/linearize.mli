@@ -89,6 +89,59 @@ val check_events :
   bool
 (** [check_operations] composed with {!Trace.operations}. *)
 
+(** {2 Sequential consistency}
+
+    Sequential consistency (Lamport) keeps linearizability's two other
+    ingredients — a single total order explaining all responses against
+    the sequential spec, with each process's own operations in program
+    order — but drops the real-time constraint: an operation may take
+    effect before an operation that finished earlier on another process.
+    Every linearizable history is therefore SC, not conversely (a stale
+    read after a remote completed write is SC but not linearizable), and
+    unlike linearizability SC is {e not} compositional: per-object SC
+    subhistories need not interleave into one SC history over the whole
+    memory (Perrin et al., the store-buffering shape being the minimal
+    witness — test/test_sc.ml pins it). The checkers below decide {e
+    membership} for one history against one spec; they deliberately come
+    without a [check_partitioned] analogue, because splitting by object
+    is unsound for SC. *)
+
+val check_sc_operations :
+  ?mode:mode ->
+  ?budget:int ->
+  ('q, 'i, 'r) Spec.t ->
+  ('i, 'r, 'v) Trace.operation list ->
+  bool
+(** [check_sc_operations spec ops] — is the history sequentially
+    consistent w.r.t. [spec]? Committed operations must reproduce their
+    responses; pending/aborted operations may take effect or be dropped,
+    as in {!check_operations}. The search merges the per-process
+    program-order sequences under the same bitset-memoized DFS engine
+    (memo key: consumed set × spec state, sound because the consumed
+    set is prefix-closed per process); [mode] and [budget] behave as in
+    {!check_operations}. Requires a well-formed history: each process's
+    operations must be sequential (overlapping same-pid operations are
+    ordered by invocation time, an arbitrary strengthening).
+
+    One deliberate asymmetry with {!check_operations}: a pending or
+    aborted operation's effect, if it takes one, is pinned to its
+    program-order slot here, whereas the linearizability checker — which
+    orders by real time only — lets an unresponded operation float past
+    {e later operations of the same process}. A process that continues
+    after an abort can therefore be linearizable yet not SC under these
+    definitions; on histories whose pending/aborted operations are
+    process-final (crashed processes, the common case), linearizability
+    implies SC, and test/test_linearize_diff.ml checks the implication
+    property on exactly that class. *)
+
+val check_sc_events :
+  ?mode:mode ->
+  ?budget:int ->
+  ('q, 'i, 'r) Spec.t ->
+  ('i, 'r, 'v) Trace.event array ->
+  bool
+(** [check_sc_operations] composed with {!Trace.operations}. *)
+
 (** {2 Compositional checking}
 
     Linearizability is compositional (Herlihy & Wing; constructive proof

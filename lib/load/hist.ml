@@ -89,7 +89,15 @@ let quantile t q =
       if !acc >= rank then found := !idx;
       incr idx
     done;
-    if !found < 0 || !found = buckets then t.max_v else representative !found
+    if !found < 0 || !found = buckets then t.max_v
+    else begin
+      (* A bucket midpoint can overshoot the true maximum (or undershoot
+         the minimum) when the extreme sample sits in the other half of
+         its bucket; clamping to the observed range keeps quantiles
+         within [min, max] without losing bucket resolution. *)
+      let v = representative !found in
+      if v > t.max_v then t.max_v else if v < t.min_v then t.min_v else v
+    end
   end
 
 let merge ~into src =

@@ -49,9 +49,11 @@ val overflow : t -> int
 
 val quantile : t -> float -> int
 (** [quantile t q] with [q] in (0, 1]: a representative value (bucket
-    midpoint) whose rank is [ceil (q * count)]. Exact for values
-    below 32; within 3.1% above. Returns {!max_value} when the rank
-    falls in the overflow bucket, and 0 on an empty histogram. *)
+    midpoint, clamped to [[min_value, max_value]] so quantiles never
+    overshoot the observed extremes) whose rank is [ceil (q * count)].
+    Exact for values below 32; within 3.1% above. Returns {!max_value}
+    when the rank falls in the overflow bucket, and 0 on an empty
+    histogram. *)
 
 val merge : into:t -> t -> unit
 (** Bucket-wise addition of the source into [into]; the source is not

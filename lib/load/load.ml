@@ -497,6 +497,7 @@ let run cfg =
 let to_record r =
   {
     Scs_obs.Trajectory.workload = r.r_label;
+    sim_backend = None;
     n = r.r_domains;
     runs = r.r_ops;
     p50_steps = 0.0;
@@ -526,7 +527,8 @@ let pp_result ppf r =
 (* ------------------------------------------------------------------ *)
 (* Simulator selfcheck: the same driver code under Sim_prims.          *)
 
-let sim_selfcheck ?(seed = 7) ~n ~ops_per_proc workload =
+let sim_selfcheck ?(seed = 7) ?(backend = Scs_prims.Backend.default) ~n ~ops_per_proc
+    workload =
   let keys = 2 in
   let cfg =
     {
@@ -543,7 +545,7 @@ let sim_selfcheck ?(seed = 7) ~n ~ops_per_proc workload =
   in
   let sim = Scs_sim.Sim.create ~n ()
   and rows = ref [] (* (epoch, pid, key, flags) *) in
-  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module P = (val Scs_prims.Backend.sim_prims backend sim) in
   let module D = Driver (P) in
   let inst = D.make cfg in
   let do_ops ~epoch pid =

@@ -146,7 +146,13 @@ module Driver (P : Scs_prims.Prims_intf.S) : sig
       [Atomic]. *)
 end
 
-val sim_selfcheck : ?seed:int -> n:int -> ops_per_proc:int -> workload -> bool
+val sim_selfcheck :
+  ?seed:int ->
+  ?backend:Scs_prims.Backend.t ->
+  n:int ->
+  ops_per_proc:int ->
+  workload ->
+  bool
 (** Instantiate {!Driver} with the simulator backend, run [n] process
     fibers of [ops_per_proc] updates each under a deterministic
     sequential policy, exercise a quiescent recycle + refresh, run a

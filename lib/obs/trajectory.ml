@@ -12,6 +12,7 @@ type native = {
 
 type record = {
   workload : string;
+  sim_backend : string option;
   n : int;
   runs : int;
   p50_steps : float;
@@ -41,6 +42,11 @@ let record_to_json r =
   Json.Obj
     ([
        ("workload", Json.String r.workload);
+     ]
+    @ (match r.sim_backend with
+      | None -> []
+      | Some b -> [ ("backend", Json.String b) ])
+    @ [
        ("n", Json.Int r.n);
        ("runs", Json.Int r.runs);
        ("p50_steps", Json.Float r.p50_steps);
@@ -78,6 +84,7 @@ let native_of_json j =
 
 let record_of_json j =
   let* workload = field "workload" Json.to_stringv j in
+  let sim_backend = Option.bind (Json.member "backend" j) Json.to_stringv in
   let* n = field "n" Json.to_int j in
   let* runs = field "runs" Json.to_int j in
   let* p50_steps = field "p50_steps" Json.to_float j in
@@ -91,7 +98,9 @@ let record_of_json j =
         let* nv = native_of_json nj in
         Ok (Some nv)
   in
-  Ok { workload; n; runs; p50_steps; p99_steps; max_interval_contention; schedules_per_sec; native }
+  Ok
+    { workload; sim_backend; n; runs; p50_steps; p99_steps;
+      max_interval_contention; schedules_per_sec; native }
 
 let of_json j =
   let* schema = field "schema" Json.to_stringv j in

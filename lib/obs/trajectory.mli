@@ -53,6 +53,12 @@ type native = {
 
 type record = {
   workload : string;
+  sim_backend : string option;
+      (** simulator primitive backend the record was measured on
+          ({!Scs_prims.Backend.name}: ["sim-lin"], ["sim-sc:<lag>"]);
+          emitted as an optional ["backend"] JSON key, so files
+          predating the SC backend still validate and their records
+          read back as [None] (implicitly sim-lin) *)
   n : int;
   runs : int;
   p50_steps : float;

@@ -52,6 +52,11 @@ type t = {
   mutable record_trace : bool;
   trace : Mem_event.t Vec.t;
   pause_obj : int;
+  mutable cur_pid : int;
+      (** pid whose turn {!step} is currently executing; [-1] between
+          turns. Lets backend operation closures ({!custom_op}) learn the
+          process on whose behalf they run without threading pids through
+          {!Prims_intf.S}. *)
   obs : Scs_obs.Obs.t;
   obs_on : bool;  (** cached [Obs.enabled obs]: one load on the hot path *)
 }
@@ -92,6 +97,7 @@ let create ?(max_steps = 1_000_000) ?(obs = Scs_obs.Obs.null) ~n () =
     record_trace = false;
     trace = Vec.create ();
     pause_obj = 0;
+    cur_pid = -1;
     obs;
     obs_on = Scs_obs.Obs.enabled obs;
   }
@@ -260,6 +266,23 @@ let pause t =
     (Mem { Op.kind = Op.Read; obj = t.pause_obj; obj_name = "pause"; info = ""; run = (fun () -> ()) })
 
 (* ------------------------------------------------------------------ *)
+(* Custom backend objects                                              *)
+(* ------------------------------------------------------------------ *)
+
+let custom_obj t ?(rmw = false) ~reset () =
+  if rmw then t.rmw_objs <- t.rmw_objs + 1;
+  let id = fresh_obj t in
+  Vec.push t.obj_resets reset;
+  id
+
+let custom_op ~obj ~obj_name ~kind ~info run =
+  Effect.perform (Mem { Op.kind; obj; obj_name; info; run })
+
+let running_pid t =
+  if t.cur_pid < 0 then invalid_arg "Sim.running_pid: no turn is executing";
+  t.cur_pid
+
+(* ------------------------------------------------------------------ *)
 (* Scheduling                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -416,19 +439,25 @@ let step t pid =
   | Done | Crashed -> invalid_arg "Sim.step: process not runnable"
   | Ready f ->
       t.status.(pid) <- Done;
+      t.cur_pid <- pid;
       (* will be overwritten by the handler or retc *)
-      Effect.Deep.match_with f () (handler t pid)
+      Effect.Deep.match_with f () (handler t pid);
+      t.cur_pid <- -1
   | Parked k ->
       t.status.(pid) <- Done;
+      t.cur_pid <- pid;
       (* resumes the spawn loop: runs the body up to its first memory op,
          exactly as starting a Ready fiber does *)
-      Effect.Deep.continue k ()
+      Effect.Deep.continue k ();
+      t.cur_pid <- -1
   | Blocked (Pending (op, k)) ->
       t.status.(pid) <- Done;
+      t.cur_pid <- pid;
       account t pid op.Op.kind;
       record t pid op;
       let result = op.Op.run () in
-      Effect.Deep.continue k result
+      Effect.Deep.continue k result;
+      t.cur_pid <- -1
 
 let crash t pid =
   match t.status.(pid) with
@@ -520,6 +549,7 @@ let reset t =
     | _ -> ()
   done;
   t.clock <- 0;
+  t.cur_pid <- -1;
   Array.fill t.steps 0 t.n 0;
   Array.fill t.rmws 0 t.n 0;
   Array.fill t.raw_fences 0 t.n 0;
@@ -532,6 +562,7 @@ let clear t =
   Array.fill t.park 0 t.n None;
   t.runnable_bits <- 0;
   t.clock <- 0;
+  t.cur_pid <- -1;
   Array.fill t.steps 0 t.n 0;
   Array.fill t.rmws 0 t.n 0;
   Array.fill t.raw_fences 0 t.n 0;

@@ -86,6 +86,38 @@ val pause : t -> unit
     per-simulator dummy object) so that spinning processes cannot starve the
     livelock fuse. *)
 
+(** {1 Custom backend objects}
+
+    Entry points for primitive backends implemented outside this module
+    (e.g. the sequentially-consistent register backend
+    [Scs_prims.Sc_prims]): allocate an object id in the simulator's
+    census with a pooling reset thunk, and perform scheduled memory
+    operations against it. Custom operations flow through the ordinary
+    effect pipeline, so accounting, tracing, observability, footprints
+    and partial-order reduction see them exactly like built-in objects.
+
+    Soundness contract for {!footprints_commute}: a custom operation's
+    [run] closure must touch only state owned by object [obj] (plus
+    state private to the running process), and two [Read]-kind
+    operations on the same object by different processes must commute. *)
+
+val custom_obj : t -> ?rmw:bool -> reset:(unit -> unit) -> unit -> int
+(** Allocate a fresh object id. [reset] must rewind the backing state to
+    its creation value; it is replayed by {!reset} like any built-in
+    object's thunk. [rmw] (default false) counts the object in the
+    consensus-power census ({!rmw_objects_allocated}). *)
+
+val custom_op : obj:int -> obj_name:string -> kind:Op.kind -> info:string -> (unit -> 'r) -> 'r
+(** Perform one scheduled memory operation: blocks the calling fiber
+    until the scheduler grants it a turn, then executes the closure
+    atomically and resumes with its result. Must be called from inside a
+    spawned process. *)
+
+val running_pid : t -> pid
+(** The pid on whose behalf the current turn executes. Only meaningful
+    from code running inside {!step} — in particular from a {!custom_op}
+    closure; raises [Invalid_argument] between turns. *)
+
 (** {1 Processes and scheduling} *)
 
 val spawn : t -> pid -> (unit -> unit) -> unit

@@ -51,11 +51,11 @@ let make_instance (type a) ~algo ~n (module P : Scs_prims.Prims_intf.S)
           CC.instance (CC.create ~name:"chain.cas" ());
         ]
 
-let run ?(seed = 42) ?obs ~n ~algo ~policy () =
+let run ?(seed = 42) ?(backend = Scs_prims.Backend.default) ?obs ~n ~algo ~policy () =
   let rng = Rng.create seed in
   let sim = Sim.create ?obs ~n () in
   let obs = Sim.obs sim in
-  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module P = (val Scs_prims.Backend.sim_prims backend sim) in
   let inst : int Consensus_intf.t = make_instance ~algo ~n (module P) in
   let ops = ref [] in
   for pid = 0 to n - 1 do

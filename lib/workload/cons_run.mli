@@ -39,17 +39,20 @@ val make_instance :
 
 val run :
   ?seed:int ->
+  ?backend:Scs_prims.Backend.t ->
   ?obs:Scs_obs.Obs.t ->
   n:int ->
   algo:algo ->
   policy:(Scs_util.Rng.t -> Policy.t) ->
   unit ->
   result
-(** Process [i] proposes [100 + i]. [obs] (default disabled) gets one
-    operation bracket per propose (all against object 0, the consensus
-    instance), an abort count per [Abort] outcome and a handoff per
-    adopted switch value — the inputs to the abort-rate-vs-contention
-    analysis of experiment T13. *)
+(** Process [i] proposes [100 + i]. [backend] (default
+    {!Scs_prims.Backend.default}) selects the simulator primitive
+    backend. [obs] (default disabled) gets one operation bracket per
+    propose (all against object 0, the consensus instance), an abort
+    count per [Abort] outcome and a handoff per adopted switch value —
+    the inputs to the abort-rate-vs-contention analysis of experiment
+    T13. *)
 
 val solo_steps : algo -> n:int -> int
 (** Steps taken by process 0 deciding alone — the solo/uncontended step

@@ -10,7 +10,7 @@ type t = {
   describe : string;
   default_n : int;
   expect_failures : bool;
-  instantiate : n:int -> instance;
+  instantiate : ?backend:Scs_prims.Backend.t -> n:int -> unit -> instance;
 }
 
 let violation fmt = Printf.ksprintf (fun s -> raise (Fuzz.Violation s)) fmt
@@ -42,14 +42,19 @@ let tas_one_shot_setup ~n ~mk slot sim =
         Trace.commit tr ~pid req r)
   done
 
-let mk_one_shot ~strict sim =
-  let module P = (val Scs_prims.Sim_prims.make sim) in
+(* The backend's primitive maker: every workload setup goes through it,
+   so fuzzing (and differential fuzzing) select sim-linearizable vs
+   sim-SC uniformly. *)
+let prims_of backend = Scs_prims.Backend.sim_prims backend
+
+let mk_one_shot ~strict prims sim =
+  let module P = (val prims sim : Scs_prims.Prims_intf.S) in
   let module OS = Scs_tas.One_shot.Make (P) in
   let os = OS.create ~strict ~name:"tas" () in
   fun ~pid -> OS.test_and_set os ~pid
 
-let mk_solo_fast sim =
-  let module P = (val Scs_prims.Sim_prims.make sim) in
+let mk_solo_fast prims sim =
+  let module P = (val prims sim : Scs_prims.Prims_intf.S) in
   let module SF = Scs_tas.Solo_fast.Make (P) in
   let sf = SF.create ~name:"sf" () in
   fun ~pid -> SF.test_and_set sf ~pid
@@ -67,10 +72,10 @@ let f1 =
     default_n = 4;
     expect_failures = true;
     instantiate =
-      (fun ~n ->
+      (fun ?(backend = Scs_prims.Backend.default) ~n () ->
         let s = slot () in
         {
-          setup = tas_one_shot_setup ~n ~mk:(mk_one_shot ~strict:false) s;
+          setup = tas_one_shot_setup ~n ~mk:(mk_one_shot ~strict:false (prims_of backend)) s;
           check = check_strictly_linearizable "composed A1∘A2" s;
         });
   }
@@ -84,10 +89,10 @@ let f2 =
     default_n = 4;
     expect_failures = true;
     instantiate =
-      (fun ~n ->
+      (fun ?(backend = Scs_prims.Backend.default) ~n () ->
         let s = slot () in
         let setup sim =
-          let module P = (val Scs_prims.Sim_prims.make sim) in
+          let module P = (val prims_of backend sim) in
           let module A1 = Scs_tas.A1.Make (P) in
           let a1 = A1.create ~name:"a1" () in
           let tr : tas_trace = Trace.create ~clock:(fun () -> Sim.clock sim) () in
@@ -138,7 +143,7 @@ let tas_composed =
     default_n = 4;
     expect_failures = false;
     instantiate =
-      (fun ~n ->
+      (fun ?(backend = Scs_prims.Backend.default) ~n () ->
         let s = slot () in
         let check _sim =
           let evs = Trace.events (get s) in
@@ -159,7 +164,7 @@ let tas_composed =
             | Ok () -> ()
             | Error e -> violation "no Definition 2 interpretation: %s" e
         in
-        { setup = tas_one_shot_setup ~n ~mk:(mk_one_shot ~strict:false) s; check });
+        { setup = tas_one_shot_setup ~n ~mk:(mk_one_shot ~strict:false (prims_of backend)) s; check });
   }
 
 let tas_strict =
@@ -169,10 +174,10 @@ let tas_strict =
     default_n = 4;
     expect_failures = false;
     instantiate =
-      (fun ~n ->
+      (fun ?(backend = Scs_prims.Backend.default) ~n () ->
         let s = slot () in
         {
-          setup = tas_one_shot_setup ~n ~mk:(mk_one_shot ~strict:true) s;
+          setup = tas_one_shot_setup ~n ~mk:(mk_one_shot ~strict:true (prims_of backend)) s;
           check = check_strictly_linearizable "strict variant" s;
         });
   }
@@ -184,10 +189,10 @@ let tas_solo_fast =
     default_n = 4;
     expect_failures = false;
     instantiate =
-      (fun ~n ->
+      (fun ?(backend = Scs_prims.Backend.default) ~n () ->
         let s = slot () in
         {
-          setup = tas_one_shot_setup ~n ~mk:mk_solo_fast s;
+          setup = tas_one_shot_setup ~n ~mk:(mk_solo_fast (prims_of backend)) s;
           check = check_strictly_linearizable "solo-fast variant" s;
         });
   }
@@ -201,10 +206,10 @@ let splitter =
     default_n = 4;
     expect_failures = false;
     instantiate =
-      (fun ~n ->
+      (fun ?(backend = Scs_prims.Backend.default) ~n () ->
         let s = slot () in
         let setup sim =
-          let module P = (val Scs_prims.Sim_prims.make sim) in
+          let module P = (val prims_of backend sim) in
           let module Sp = Scs_consensus.Splitter.Make (P) in
           let sp = Sp.create ~name:"split" () in
           let results = Array.make n None in
@@ -235,10 +240,10 @@ let consensus_chain =
     default_n = 3;
     expect_failures = false;
     instantiate =
-      (fun ~n ->
+      (fun ?(backend = Scs_prims.Backend.default) ~n () ->
         let s = slot () in
         let setup sim =
-          let module P = (val Scs_prims.Sim_prims.make sim) in
+          let module P = (val prims_of backend sim) in
           let module SC = Scs_consensus.Split_consensus.Make (P) in
           let module AB = Scs_consensus.Abortable_bakery.Make (P) in
           let module CC = Scs_consensus.Cas_consensus.Make (P) in
@@ -299,11 +304,11 @@ let tas_long_lived =
     default_n = 3;
     expect_failures = false;
     instantiate =
-      (fun ~n ->
+      (fun ?(backend = Scs_prims.Backend.default) ~n () ->
         let iters = (200 + n - 1) / n in
         let s = slot () in
         let setup sim =
-          let module P = (val Scs_prims.Sim_prims.make sim) in
+          let module P = (val prims_of backend sim) in
           let module LL = Scs_tas.Long_lived.Make (P) in
           let ll = LL.create ~strict:true ~name:"ll" ~rounds:((n * iters) + 1) () in
           let gen = Request.Gen.create () in
@@ -388,10 +393,10 @@ let queue =
     default_n = 3;
     expect_failures = false;
     instantiate =
-      (fun ~n ->
+      (fun ?(backend = Scs_prims.Backend.default) ~n () ->
         let s = slot () in
         let setup sim =
-          let module P = (val Scs_prims.Sim_prims.make sim) in
+          let module P = (val prims_of backend sim) in
           let module SO = Scs_futures.Spec_object.Make (P) in
           let obj =
             SO.create ~transfer:Scs_futures.Spec_object.History ~name:"q" ~n
@@ -454,12 +459,33 @@ let all =
 let find name = List.find_opt (fun w -> w.name = name) all
 let names () = List.map (fun w -> w.name) all
 
-let fuzz ?policies ?runs ?time_budget ?max_violations ?seed ?max_steps ?check_domains
+(* Workload names qualified with a non-default backend — the [.scsrepro]
+   encoding ("splitter@sim-sc:1"), so repro artifacts recorded on the SC
+   backend replay on it without any format change. *)
+let qualified_name w backend =
+  match backend with
+  | Scs_prims.Backend.Sim_lin -> w.name
+  | b -> w.name ^ "@" ^ Scs_prims.Backend.name b
+
+let find_qualified s =
+  match String.index_opt s '@' with
+  | None -> Option.map (fun w -> (w, Scs_prims.Backend.Sim_lin)) (find s)
+  | Some i -> (
+      let base = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match (find base, Scs_prims.Backend.of_string rest) with
+      | Some w, Ok backend -> Some (w, backend)
+      | _ -> None)
+
+let fuzz ?backend ?policies ?runs ?time_budget ?max_violations ?seed ?max_steps ?check_domains
     ?gen_domains ?pool ?obs w ~n =
+  let workload =
+    qualified_name w (Option.value ~default:Scs_prims.Backend.default backend)
+  in
   Fuzz.run ?policies ?runs ?time_budget ?max_violations ?seed ?max_steps
-    ?check_domains ?gen_domains ?pool ?obs ~workload:w.name ~n
+    ?check_domains ?gen_domains ?pool ?obs ~workload ~n
     ~instantiate:(fun () ->
-      let { setup; check } = w.instantiate ~n in
+      let { setup; check } = w.instantiate ?backend ~n () in
       (setup, check))
     ()
 
@@ -469,14 +495,14 @@ type replay_outcome =
   | Skipped of string
   | Drifted of int  (** schedule does not replay; offending pid *)
 
-let replay w ~n ~schedule ~crashes =
-  let { setup; check } = w.instantiate ~n in
+let replay ?backend w ~n ~schedule ~crashes =
+  let { setup; check } = w.instantiate ?backend ~n () in
   match check (Fuzz.replay ~n ~setup ~schedule ~crashes ()) with
   | () -> Passes
   | exception Fuzz.Violation msg -> Violates msg
   | exception Fuzz.Skip msg -> Skipped msg
   | exception Policy.Replay_drift p -> Drifted p
 
-let shrink ?max_rounds ?max_steps w ~n ~schedule ~crashes =
-  let { setup; check } = w.instantiate ~n in
+let shrink ?backend ?max_rounds ?max_steps w ~n ~schedule ~crashes =
+  let { setup; check } = w.instantiate ?backend ~n () in
   Shrink.minimize ?max_rounds ?max_steps ~n ~setup ~check ~schedule ~crashes ()

@@ -22,12 +22,16 @@ type t = {
   describe : string;
   default_n : int;
   expect_failures : bool;  (** violations are the point, not a regression *)
-  instantiate : n:int -> instance;
+  instantiate : ?backend:Scs_prims.Backend.t -> n:int -> unit -> instance;
       (** Fresh linked [setup]/[check] pair. Each run must call [setup]
           on a fresh sim and eventually [check] on the finished run; the
           pair communicates through a slot set by [setup]. One instance is
           never shared between runs ({!Scs_sim.Fuzz.run} instantiates per
-          run), so deferring [check] to a verification domain is safe. *)
+          run), so deferring [check] to a verification domain is safe.
+          [backend] (default {!Scs_prims.Backend.default}) selects the
+          primitive backend the algorithms run on; only simulator
+          backends are valid here ([Native] raises [Invalid_argument]
+          from inside [setup]). *)
 }
 
 val f1 : t
@@ -53,7 +57,17 @@ val all : t list
 val find : string -> t option
 val names : unit -> string list
 
+val qualified_name : t -> Scs_prims.Backend.t -> string
+(** The workload name as recorded in reports and [.scsrepro] artifacts:
+    the plain name for the default backend, ["name@<backend>"] (e.g.
+    ["splitter@sim-sc:1"]) otherwise. *)
+
+val find_qualified : string -> (t * Scs_prims.Backend.t) option
+(** Parse a possibly backend-qualified workload name back into the
+    workload and its backend; plain names map to the default backend. *)
+
 val fuzz :
+  ?backend:Scs_prims.Backend.t ->
   ?policies:Fuzz.policy_spec list ->
   ?runs:int ->
   ?time_budget:float ->
@@ -71,7 +85,8 @@ val fuzz :
     [check_domains] fans checker work out, [gen_domains] fans schedule
     generation out, [pool] (default true) reuses pooled simulators, and
     [obs] attaches an observability sink to every run's simulator, as
-    documented there. *)
+    documented there. [backend] selects the primitive backend; the
+    report and its repro artifacts carry the {!qualified_name}. *)
 
 type replay_outcome =
   | Violates of string  (** the recorded violation reproduces *)
@@ -79,11 +94,18 @@ type replay_outcome =
   | Skipped of string
   | Drifted of int  (** schedule does not replay; offending pid *)
 
-val replay : t -> n:int -> schedule:int array -> crashes:(int * int) list -> replay_outcome
+val replay :
+  ?backend:Scs_prims.Backend.t ->
+  t ->
+  n:int ->
+  schedule:int array ->
+  crashes:(int * int) list ->
+  replay_outcome
 (** Strict scripted replay of a recorded triple, judged by the
-    workload's check. *)
+    workload's check, on the backend the triple was recorded on. *)
 
 val shrink :
+  ?backend:Scs_prims.Backend.t ->
   ?max_rounds:int ->
   ?max_steps:int ->
   t ->

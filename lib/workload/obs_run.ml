@@ -29,6 +29,7 @@ let target_names () = List.map target_name all_targets
 
 type agg = {
   workload : string;
+  backend : string;
   n : int;
   runs : int;
   ops : Obs.op_metric list;
@@ -45,9 +46,9 @@ type agg = {
 (* Bare A1: each process performs one [apply] inside an obs bracket.
    Mirrors exp_t1's abort census but measured by the sink instead of a
    post-hoc trace scan. *)
-let run_a1 ?(crashes = []) ~obs ~n ~policy rng =
+let run_a1 ?(crashes = []) ~backend ~obs ~n ~policy rng =
   let sim = Sim.create ~obs ~n () in
-  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module P = (val Scs_prims.Backend.sim_prims backend sim) in
   let module M = Scs_tas.A1.Make (P) in
   let a1 = M.create ~name:"a1" () in
   for pid = 0 to n - 1 do
@@ -70,7 +71,7 @@ let gen_crashes rng ~n ~crash_prob =
       else None)
     (List.init n (fun p -> p))
 
-let aggregate ~workload ~n ~runs ~wall (obs : Obs.t) =
+let aggregate ~workload ~backend ~n ~runs ~wall (obs : Obs.t) =
   let ops = Obs.op_metrics obs in
   if ops = [] then invalid_arg "Obs_run.measure: batch completed zero operations";
   let steps =
@@ -82,6 +83,7 @@ let aggregate ~workload ~n ~runs ~wall (obs : Obs.t) =
   in
   {
     workload;
+    backend = Scs_prims.Backend.name backend;
     n;
     runs;
     ops;
@@ -95,17 +97,17 @@ let aggregate ~workload ~n ~runs ~wall (obs : Obs.t) =
     objects = Obs.objects obs;
   }
 
-let one_run ?(crashes = []) ~obs ~target ~n ~policy rng =
+let one_run ?(crashes = []) ~backend ~obs ~target ~n ~policy rng =
   match target with
-  | A1 -> run_a1 ~crashes ~obs ~n ~policy rng
+  | A1 -> run_a1 ~crashes ~backend ~obs ~n ~policy rng
   | Tas algo ->
       let seed = Rng.int rng 0x3FFFFFFF in
       ignore
-        (Tas_run.one_shot ~seed ~trace_mem:false ~crashes ~obs ~n ~algo
+        (Tas_run.one_shot ~seed ~backend ~trace_mem:false ~crashes ~obs ~n ~algo
            ~policy ())
   | Cons algo ->
       let seed = Rng.int rng 0x3FFFFFFF in
-      ignore (Cons_run.run ~seed ~obs ~n ~algo ~policy ())
+      ignore (Cons_run.run ~seed ~backend ~obs ~n ~algo ~policy ())
 
 (* ---- pooled measurement engine ------------------------------------- *)
 
@@ -117,8 +119,8 @@ let one_run ?(crashes = []) ~obs ~target ~n ~policy rng =
    [Sim.reset] rewinds a finished (or livelocked) run back to this
    installed state. Returns the per-run rearm hook, fed the run's
    derived rng for targets whose operations consume randomness. *)
-let install ~obs ~target ~n sim =
-  let module P = (val Scs_prims.Sim_prims.make sim) in
+let install ~backend ~obs ~target ~n sim =
+  let module P = (val Scs_prims.Backend.sim_prims backend sim) in
   match target with
   | A1 ->
       let module M = Scs_tas.A1.Make (P) in
@@ -213,9 +215,9 @@ let install ~obs ~target ~n sim =
    loop. The per-run rng chain reproduces the legacy engine's exactly
    (crash draws, the per-run derived seed, Tournament's per-pid splits,
    then the policy stream), so the recorded metrics match run for run. *)
-let run_domain ~target ~n ~policy ~crash_prob ~obs ~prng ~runs =
+let run_domain ~backend ~target ~n ~policy ~crash_prob ~obs ~prng ~runs =
   let sim = Sim.create ~obs ~n () in
-  let rearm = install ~obs ~target ~n sim in
+  let rearm = install ~backend ~obs ~target ~n sim in
   Sim.snapshot sim;
   let plan = Policy.crash_plan ~n in
   for i = 1 to runs do
@@ -241,8 +243,9 @@ let run_domain ~target ~n ~policy ~crash_prob ~obs ~prng ~runs =
   done;
   runs
 
-let measure ?(runs = 200) ?(seed = 42) ?(policy = Policy.random)
-    ?(crash_prob = 0.0) ?(gen_domains = 1) ?(pooled = true) target ~n =
+let measure ?(runs = 200) ?(seed = 42) ?(backend = Scs_prims.Backend.default)
+    ?(policy = Policy.random) ?(crash_prob = 0.0) ?(gen_domains = 1) ?(pooled = true) target
+    ~n =
   let gen_domains = max 1 gen_domains in
   (* The batch sink's event ring is never replayed (the aggregate reads
      counters, census and op metrics only), so the pooled engine skips
@@ -259,14 +262,14 @@ let measure ?(runs = 200) ?(seed = 42) ?(policy = Policy.random)
       for _ = 1 to runs do
         let rng = Rng.split prng in
         let crashes = gen_crashes rng ~n ~crash_prob in
-        (try one_run ~crashes ~obs ~target ~n ~policy rng
+        (try one_run ~crashes ~backend ~obs ~target ~n ~policy rng
          with Sim.Livelock _ -> ());
         incr completed
       done;
       !completed
     end
     else if gen_domains = 1 then
-      run_domain ~target ~n ~policy ~crash_prob ~obs ~prng:(Rng.create seed) ~runs
+      run_domain ~backend ~target ~n ~policy ~crash_prob ~obs ~prng:(Rng.create seed) ~runs
     else begin
       let base = runs / gen_domains and extra = runs mod gen_domains in
       let counts =
@@ -280,7 +283,7 @@ let measure ?(runs = 200) ?(seed = 42) ?(policy = Policy.random)
                 ~record_ring:false ~n ())
       in
       let work d () =
-        run_domain ~target ~n ~policy ~crash_prob ~obs:sinks.(d)
+        run_domain ~backend ~target ~n ~policy ~crash_prob ~obs:sinks.(d)
           ~prng:(Rng.create (seed + (0x51ED270B * d)))
           ~runs:counts.(d)
       in
@@ -314,14 +317,14 @@ let measure ?(runs = 200) ?(seed = 42) ?(policy = Policy.random)
     end
   in
   let wall = Unix.gettimeofday () -. t0 in
-  aggregate ~workload:(target_name target) ~n ~runs:completed ~wall obs
+  aggregate ~workload:(target_name target) ~backend ~n ~runs:completed ~wall obs
 
-let solo target ~n =
+let solo ?(backend = Scs_prims.Backend.default) target ~n =
   let obs = Obs.create ~n () in
   let t0 = Unix.gettimeofday () in
-  one_run ~obs ~target ~n ~policy:(fun _ -> Policy.solo 0) (Rng.create 1);
+  one_run ~backend ~obs ~target ~n ~policy:(fun _ -> Policy.solo 0) (Rng.create 1);
   let wall = Unix.gettimeofday () -. t0 in
-  let agg = aggregate ~workload:(target_name target) ~n ~runs:1 ~wall obs in
+  let agg = aggregate ~workload:(target_name target) ~backend ~n ~runs:1 ~wall obs in
   (* keep only p0's first operation: the uncontended-cost sample *)
   match List.find_opt (fun m -> m.Obs.om_pid = 0) agg.ops with
   | None -> agg
@@ -336,6 +339,7 @@ let solo target ~n =
 let to_record (a : agg) =
   {
     Trajectory.workload = a.workload;
+    sim_backend = Some a.backend;
     n = a.n;
     runs = a.runs;
     p50_steps = a.steps.Stats.median;

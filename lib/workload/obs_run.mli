@@ -24,6 +24,7 @@ val target_names : unit -> string list
 (** Aggregate of one measurement batch. *)
 type agg = {
   workload : string;
+  backend : string;  (** {!Scs_prims.Backend.name} of the backend measured *)
   n : int;
   runs : int;  (** completed simulations *)
   ops : Scs_obs.Obs.op_metric list;  (** every bracketed operation, all runs *)
@@ -41,6 +42,7 @@ type agg = {
 val measure :
   ?runs:int ->
   ?seed:int ->
+  ?backend:Scs_prims.Backend.t ->
   ?policy:(Scs_util.Rng.t -> Policy.t) ->
   ?crash_prob:float ->
   ?gen_domains:int ->
@@ -51,7 +53,10 @@ val measure :
 (** [measure target ~n] executes [runs] (default 200) seeded
     simulations of the target with a fresh obs sink per batch and
     aggregates. [policy] defaults to {!Policy.random} per run (seeded
-    from [seed], default 42); [crash_prob] (default 0) independently
+    from [seed], default 42); [backend] (default
+    {!Scs_prims.Backend.default}) selects the simulator primitive
+    backend, so the same step/contention aggregates can be measured
+    under per-object-SC registers; [crash_prob] (default 0) independently
     crashes each pid with that probability after 1–15 steps, as the
     fuzzer's crash portfolio does. Raises [Invalid_argument] if the
     batch completes zero operations.
@@ -70,7 +75,7 @@ val measure :
     per-op metrics aggregate a different (but seed-stable) sample of
     schedules. A custom [policy] closure must be domain-safe. *)
 
-val solo : target -> n:int -> agg
+val solo : ?backend:Scs_prims.Backend.t -> target -> n:int -> agg
 (** One run in which process 0 executes alone ({!Policy.solo}): the
     uncontended cost the appendix complexity claims are stated for.
     The returned [steps] summary has [n = 1] sample (p0's single

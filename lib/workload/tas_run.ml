@@ -118,12 +118,13 @@ let run_policy ?(crashes = []) sim policy rng =
   Sim.run sim p;
   Vec.to_array buf
 
-let one_shot ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ?obs ~n ~algo ~policy () =
+let one_shot ?(seed = 42) ?(backend = Scs_prims.Backend.default) ?(trace_mem = true)
+    ?(crashes = []) ?obs ~n ~algo ~policy () =
   let rng = Rng.create seed in
   let sim = Sim.create ?obs ~n () in
   Sim.set_trace sim trace_mem;
   let obs = Sim.obs sim in
-  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module P = (val Scs_prims.Backend.sim_prims backend sim) in
   let recorder = make_recorder sim in
   let tr = recorder in
   (* a per-process closure performing one traced operation *)
@@ -201,12 +202,12 @@ let one_shot ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ?obs ~n ~algo ~pol
   let schedule = run_policy ~crashes sim policy (Rng.split rng) in
   finish sim recorder ~schedule
 
-let long_lived ?(seed = 42) ?(trace_mem = true) ?(crashes = []) ?(strict = false) ?obs ~n
-    ~ops_per_proc ~policy () =
+let long_lived ?(seed = 42) ?(backend = Scs_prims.Backend.default) ?(trace_mem = true)
+    ?(crashes = []) ?(strict = false) ?obs ~n ~ops_per_proc ~policy () =
   let rng = Rng.create seed in
   let sim = Sim.create ~max_steps:10_000_000 ?obs ~n () in
   Sim.set_trace sim trace_mem;
-  let module P = (val Scs_prims.Sim_prims.make sim) in
+  let module P = (val Scs_prims.Backend.sim_prims backend sim) in
   let module LL = Scs_tas.Long_lived.Make (P) in
   let recorder = make_recorder sim in
   let ll = LL.create ~strict ~name:"lltas" ~rounds:((n * ops_per_proc) + 1) () in
@@ -243,10 +244,11 @@ let explore_slot : (Objects.tas_req, Objects.tas_resp, Tas_switch.t) Trace.t opt
     =
   Domain.DLS.new_key (fun () -> None)
 
-let explore_one_shot ?max_schedules ?max_depth ?(por = false) ?(domains = 1) ~n ~algo () =
+let explore_one_shot ?max_schedules ?max_depth ?(por = false) ?(domains = 1)
+    ?(backend = Scs_prims.Backend.default) ~n ~algo () =
   let bad = Atomic.make 0 in
   let setup sim =
-    let module P = (val Scs_prims.Sim_prims.make sim) in
+    let module P = (val Scs_prims.Backend.sim_prims backend sim) in
     let tr = Trace.create ~clock:(fun () -> Sim.clock sim) () in
     Domain.DLS.set explore_slot (Some tr);
     let op =

@@ -50,6 +50,7 @@ type result = {
 
 val one_shot :
   ?seed:int ->
+  ?backend:Scs_prims.Backend.t ->
   ?trace_mem:bool ->
   ?crashes:(int * int) list ->
   ?obs:Scs_obs.Obs.t ->
@@ -59,13 +60,16 @@ val one_shot :
   unit ->
   result
 (** Every process performs exactly one test-and-set. [policy] receives a
-    deterministic sub-stream of [seed]. [crashes] are [(pid, after_steps)]
-    pairs. [obs] (default disabled) receives an operation bracket per
-    test-and-set plus an abort + switch-value handoff whenever A1 aborts
-    into A2, so per-operation steps and contention can be measured. *)
+    deterministic sub-stream of [seed]. [backend] (default
+    {!Scs_prims.Backend.default}) selects the simulator primitive
+    backend. [crashes] are [(pid, after_steps)] pairs. [obs] (default
+    disabled) receives an operation bracket per test-and-set plus an
+    abort + switch-value handoff whenever A1 aborts into A2, so
+    per-operation steps and contention can be measured. *)
 
 val long_lived :
   ?seed:int ->
+  ?backend:Scs_prims.Backend.t ->
   ?trace_mem:bool ->
   ?crashes:(int * int) list ->
   ?strict:bool ->
@@ -91,6 +95,7 @@ val explore_one_shot :
   ?max_depth:int ->
   ?por:bool ->
   ?domains:int ->
+  ?backend:Scs_prims.Backend.t ->
   n:int ->
   algo:algo ->
   unit ->
@@ -101,7 +106,10 @@ val explore_one_shot :
     linearizability checker. Returns the exploration outcome and the
     number of non-linearizable schedules (0 = safe on every explored
     interleaving). [por] and [domains] are passed through to
-    {!Explore.exhaustive}; the violation counter is domain-safe. *)
+    {!Explore.exhaustive}; the violation counter is domain-safe.
+    [backend] selects the simulator primitive backend — exploring under
+    [Sim_sc] counts how many schedules break strict linearizability once
+    registers are only per-object SC. *)
 
 (** {1 Derived judgements} *)
 

@@ -7,6 +7,7 @@ let () =
       ("spec", Test_spec.tests);
       ("history", Test_history.tests);
       ("linearize-diff", Test_linearize_diff.tests);
+      ("sc", Test_sc.tests);
       ("splitter", Test_splitter.tests);
       ("consensus", Test_consensus.tests);
       ("a1", Test_a1.tests);

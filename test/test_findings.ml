@@ -21,7 +21,22 @@
    F-3. The strict variant (losing only after observing V = 1) restores
         strict linearizability, at the price of weakening the fast path's
         progress from step-contention-freedom to interval-contention-
-        freedom. *)
+        freedom.
+
+   F-4. Composition is lost under per-object sequential consistency: on
+        the sim-sc backend with lag 1, the Moir–Anderson splitter lets
+        TWO processes return Stop under a schedule where each register's
+        own history is sequentially consistent. The minimal witness —
+        found by `scs difffuzz` and shrunk by the schedule minimizer —
+        needs no interleaving at all: p0 runs its whole splitter
+        acquisition solo, then p1 runs its whole acquisition solo, and
+        p1's stale (one-write-old, hence still-initial) view of the door
+        and turn registers replays p0's uncontended fast path. The same
+        schedule on atomic registers passes. This is the paper's
+        composition theme inverted: the algorithms' correctness proofs
+        consume linearizability of the base objects, and weakening the
+        bases to SC — which is indistinguishable process-locally —
+        breaks the composed object even sequentially. *)
 
 open Scs_spec
 open Scs_history
@@ -223,6 +238,71 @@ let test_f3_strict_sequential_all_fast () =
       Alcotest.(check int) "no rmw sequentially" 0 op.Tas_run.rmws)
     r.Tas_run.ops
 
+(* The F-4 witness: two back-to-back solo splitter acquisitions, no
+   interleaving. On sim-sc:1 both processes Stop; the identical schedule
+   on atomic registers keeps the splitter's uniqueness guarantee. *)
+let f4_schedule_n2 = [| 0; 0; 0; 0; 0; 1; 1; 1; 1; 1 |]
+
+let f4_workload () =
+  match Fuzz_run.find "splitter" with
+  | Some w -> w
+  | None -> Alcotest.fail "splitter workload missing"
+
+let test_f4_minimal_sc_schedule () =
+  let w = f4_workload () in
+  (match
+     Fuzz_run.replay
+       ~backend:(Scs_prims.Backend.Sim_sc { lag = 1 })
+       w ~n:2 ~schedule:f4_schedule_n2 ~crashes:[]
+   with
+  | Fuzz_run.Violates msg ->
+      Alcotest.(check string) "double Stop" "2 processes returned Stop" msg
+  | o ->
+      Alcotest.failf "expected an SC violation, got %s"
+        (match o with
+        | Fuzz_run.Passes -> "Passes"
+        | Fuzz_run.Skipped m -> "Skipped: " ^ m
+        | Fuzz_run.Drifted p -> Printf.sprintf "Drifted at p%d" p
+        | Fuzz_run.Violates m -> m));
+  match Fuzz_run.replay w ~n:2 ~schedule:f4_schedule_n2 ~crashes:[] with
+  | Fuzz_run.Passes -> ()
+  | _ -> Alcotest.fail "the same schedule must pass on atomic registers"
+
+let test_f4_lag0_neutralizes_the_schedule () =
+  (* the violation is the staleness's doing, not the schedule's: at lag 0
+     the SC backend replays the schedule to a passing run *)
+  let w = f4_workload () in
+  match
+    Fuzz_run.replay
+      ~backend:(Scs_prims.Backend.Sim_sc { lag = 0 })
+      w ~n:2 ~schedule:f4_schedule_n2 ~crashes:[]
+  with
+  | Fuzz_run.Passes -> ()
+  | _ -> Alcotest.fail "lag 0 must be observationally atomic on the F-4 schedule"
+
+let test_f4_difffuzz_rediscovers () =
+  (* the differential fuzzer finds SC-only splitter violations readily:
+     a small budget suffices, and every finding replays deterministically *)
+  let w = f4_workload () in
+  let report =
+    Diff_fuzz.run ~policies:[ Diff_fuzz.Uniform ] ~runs:25 ~max_findings:1 ~shrink:false w
+      ~n:4 ~lag:1
+  in
+  let sc_only =
+    List.fold_left (fun acc s -> acc + s.Diff_fuzz.dp_sc_only) 0 report.Diff_fuzz.dr_stats
+  in
+  Alcotest.(check bool) "difffuzz finds SC-only violations" true (sc_only > 0);
+  match report.Diff_fuzz.dr_findings with
+  | [] -> Alcotest.fail "a finding should have been collected"
+  | f :: _ -> (
+      match
+        Fuzz_run.replay
+          ~backend:(Scs_prims.Backend.Sim_sc { lag = 1 })
+          w ~n:4 ~schedule:f.Diff_fuzz.df_schedule ~crashes:[]
+      with
+      | Fuzz_run.Violates _ -> ()
+      | _ -> Alcotest.fail "collected finding must replay to a violation")
+
 let tests =
   [
     Alcotest.test_case "F-1: minimal n=3 counterexample schedule" `Quick
@@ -238,4 +318,10 @@ let tests =
     Alcotest.test_case "F-3: strict keeps solo cost" `Quick test_f3_strict_still_fast_solo;
     Alcotest.test_case "F-3: strict sequential register-only" `Quick
       test_f3_strict_sequential_all_fast;
+    Alcotest.test_case "F-4: minimal sequential SC-only splitter violation" `Quick
+      test_f4_minimal_sc_schedule;
+    Alcotest.test_case "F-4: lag 0 neutralizes the schedule" `Quick
+      test_f4_lag0_neutralizes_the_schedule;
+    Alcotest.test_case "F-4: difffuzz rediscovers and replays" `Quick
+      test_f4_difffuzz_rediscovers;
   ]

@@ -233,7 +233,7 @@ let test_chain_bakery_dec_regression () =
 
 let test_shrink_rejects_non_reproducing_input () =
   (* a passing schedule is not a counterexample: minimize must refuse *)
-  let { Fuzz_run.setup; check } = Fuzz_run.f1.Fuzz_run.instantiate ~n:3 in
+  let { Fuzz_run.setup; check } = Fuzz_run.f1.Fuzz_run.instantiate ~n:3 () in
   let sim = Sim.create ~n:3 () in
   setup sim;
   let buf = Scs_util.Vec.create () in

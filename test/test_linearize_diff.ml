@@ -192,7 +192,143 @@ let prop_partitioned =
       Linearize.check_operations pair_register ops
       = Linearize.check_partitioned ~key:pair_key ~spec:proj_register ops)
 
+(* ---- sequential consistency ------------------------------------------- *)
+
+(* Well-formed variant of [interp]: every operation is bound to a process
+   drawn from a free-pid pool (freed when the operation commits), so
+   each process's operations are sequential — the history shape
+   {!Linearize.check_sc_operations} is specified for. Choices that would
+   open an operation with no pid free commit the oldest instead.
+
+   Aborts do NOT free their pid (the process is treated as crashed), so
+   aborted operations are process-final. That matters for the
+   implication property below: the linearizability checker lets an
+   unresponded operation float past later operations of the same
+   process, while the SC checker pins its effect to its program-order
+   slot, so a process that continues after an abort can be linearizable
+   yet not SC (see the mli note on check_sc_operations). With
+   process-final aborts the implication is a theorem. *)
+let interp_wf (spec : _ Spec.t) ~n_pids ~payload ~corrupt choices =
+  let seq = ref 0 in
+  let next () =
+    incr seq;
+    !seq
+  in
+  let next_id = ref 0 in
+  let state = ref spec.Spec.init in
+  let opened = ref [] (* (id, payload, inv, pid), newest first *) in
+  let free = ref (List.init n_pids (fun p -> p)) in
+  let out = ref [] in
+  let close ~abort o =
+    let id, pl, inv, pid = o in
+    if abort then
+      out :=
+        { (mkabort ~id ~inv ~res:(next ()) pl) with Trace.op_pid = pid } :: !out
+    else begin
+      free := pid :: !free;
+      let st', resp = spec.Spec.apply !state pl in
+      state := st';
+      out :=
+        { (mkop ~id ~inv ~res:(next ()) pl (corrupt (id + inv) resp)) with
+          Trace.op_pid = pid }
+        :: !out
+    end
+  in
+  let take_oldest () =
+    match List.rev !opened with
+    | [] -> None
+    | o :: _ ->
+        opened := List.filter (fun x -> x != o) !opened;
+        Some o
+  in
+  List.iter
+    (fun c ->
+      let c = abs c in
+      let k = c / 4 in
+      match (c mod 4, !opened, !free) with
+      | 0, _, pid :: rest | _, [], pid :: rest ->
+          free := rest;
+          incr next_id;
+          opened := (!next_id, payload k, next (), pid) :: !opened
+      | (1 | 0), _, _ | 2, _, _ -> (
+          match take_oldest () with None -> () | Some o -> close ~abort:false o)
+      | _, _, _ -> (
+          match take_oldest () with None -> () | Some o -> close ~abort:true o))
+    choices;
+  List.rev !out
+  @ List.rev_map
+      (fun (id, pl, inv, pid) -> { (mkpend ~id ~inv pl) with Trace.op_pid = pid })
+      !opened
+
+(* Linearizability implies sequential consistency (dropping the real-time
+   constraint only enlarges the set of admissible orders); and the SC
+   checker's two engine modes must agree with each other. *)
+let prop_sc name spec ~payload ~corrupt =
+  QCheck.Test.make ~count:1500 ~name gen_choices (fun choices ->
+      let ops = interp_wf spec ~n_pids:5 ~payload ~corrupt choices in
+      let sc = Linearize.check_sc_operations spec ops in
+      (sc = Linearize.check_sc_operations ~mode:Linearize.Legacy spec ops)
+      && ((not (Linearize.check_operations spec ops)) || sc))
+
+let prop_sc_register =
+  prop_sc "sc: linearizable => SC (register)" Objects.register
+    ~payload:(fun k -> if k mod 2 = 0 then Objects.Reg_write (k mod 5) else Objects.Reg_read)
+    ~corrupt:(fun k r ->
+      match r with
+      | Objects.Reg_value v when k mod 7 = 0 -> Objects.Reg_value (v + 1)
+      | r -> r)
+
+let prop_sc_queue =
+  prop_sc "sc: linearizable => SC (queue)" Objects.queue
+    ~payload:(fun k -> if k mod 2 = 0 then Objects.Enqueue (k mod 8) else Objects.Dequeue)
+    ~corrupt:(fun k r ->
+      match r with
+      | Objects.Q_dequeued v when k mod 7 = 0 ->
+          Objects.Q_dequeued (match v with Some _ -> None | None -> Some 3)
+      | r -> r)
+
+let prop_sc_tas =
+  prop_sc "sc: linearizable => SC (tas)" Objects.tas
+    ~payload:(fun _ -> Objects.Test_and_set)
+    ~corrupt:(fun k r ->
+      if k mod 7 = 0 then
+        match r with Objects.Winner -> Objects.Loser | Objects.Loser -> Objects.Winner
+      else r)
+
+(* The differential fuzzing harness's own soundness gate: with lag 0 the
+   SC register backend is observationally atomic, so on every workload —
+   including the known-failing ones, which must fail identically — the
+   two backends' verdicts agree run for run. *)
+let test_sc_lag0_verdict_identity () =
+  List.iter
+    (fun (w : Scs_workload.Fuzz_run.t) ->
+      let report =
+        Scs_workload.Diff_fuzz.run
+          ~policies:[ Scs_workload.Diff_fuzz.Uniform; Scs_workload.Diff_fuzz.Sticky 0.25 ]
+          ~runs:12 ~seed:42 ~max_findings:0 ~shrink:false w ~n:w.Scs_workload.Fuzz_run.default_n
+          ~lag:0
+      in
+      List.iter
+        (fun (s : Scs_workload.Diff_fuzz.policy_stats) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s: no SC-only divergence at lag 0"
+               w.Scs_workload.Fuzz_run.name s.Scs_workload.Diff_fuzz.dp_policy)
+            0 s.Scs_workload.Diff_fuzz.dp_sc_only;
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s: no lin-only divergence at lag 0"
+               w.Scs_workload.Fuzz_run.name s.Scs_workload.Diff_fuzz.dp_policy)
+            0 s.Scs_workload.Diff_fuzz.dp_lin_only)
+        report.Scs_workload.Diff_fuzz.dr_stats)
+    Scs_workload.Fuzz_run.all
+
 let tests =
   List.map
     (QCheck_alcotest.to_alcotest ~rand:(Test_seed.rand ()))
-    [ prop_tas; prop_register; prop_fai; prop_queue; prop_partitioned ]
+    [
+      prop_tas; prop_register; prop_fai; prop_queue; prop_partitioned;
+      prop_sc_register; prop_sc_queue; prop_sc_tas;
+    ]
+  @ [
+      Alcotest.test_case "sc-lag 0 differential runs are verdict-identical" `Slow
+        test_sc_lag0_verdict_identity;
+    ]

@@ -311,6 +311,7 @@ let test_trajectory_roundtrip () =
         [
           {
             Trajectory.workload = "a1";
+            sim_backend = Some "sim-lin";
             n = 4;
             runs = 10;
             p50_steps = 3.0;
@@ -321,6 +322,7 @@ let test_trajectory_roundtrip () =
           };
           {
             Trajectory.workload = "native:speculative:r0.50-zipf0.99-k16";
+            sim_backend = None;
             n = 4;
             runs = 100000;
             p50_steps = 0.0;

@@ -67,7 +67,7 @@ let test_pooled_vs_fresh_reports () =
 let test_pooled_vs_fresh_every_schedule () =
   let n = 3 in
   let instantiate () =
-    let inst = Fuzz_run.tas_composed.Fuzz_run.instantiate ~n in
+    let inst = Fuzz_run.tas_composed.Fuzz_run.instantiate ~n () in
     (inst.Fuzz_run.setup, fun _ -> raise (Fuzz.Violation "capture"))
   in
   List.iter
