@@ -12,6 +12,14 @@ open Scs_history
 open Scs_sim
 open Scs_workload
 
+(* repro artifacts land under a user-supplied --out directory that need
+   not exist yet *)
+let rec ensure_dir d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
 (* ---- shared args ------------------------------------------------------ *)
 
 let n_arg =
@@ -52,7 +60,15 @@ let backend_conv =
   let parse s =
     match Scs_prims.Backend.of_string s with
     | Ok Scs_prims.Backend.Native ->
-        Error (`Msg "native is not a simulator backend (use `scs load')")
+        Error
+          (`Msg
+             (Printf.sprintf
+                "native is not a simulator backend (use `scs load'); valid backends \
+                 here: %s"
+                (String.concat ", "
+                   (List.filter
+                      (fun n -> n <> "native")
+                      Scs_prims.Backend.valid_names))))
     | Ok b -> Ok b
     | Error e -> Error (`Msg e)
   in
@@ -369,8 +385,33 @@ let fuzz_cmd =
           ~doc:"Print simulator-pool statistics (fresh creates vs pooled reuses, \
                 peak arena sizes) after each report.")
   in
-  let run workload list_workloads n_opt runs budget max_violations seed backend out
-      no_shrink check_domains gen_domains pool_stats =
+  let policy_arg =
+    let portfolio_conv =
+      let parse s =
+        match Fuzz.portfolio_of_string s with
+        | Some p -> Ok (s, p)
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown policy portfolio %S (valid: %s)" s
+                    (String.concat ", " Fuzz.portfolio_names)))
+      in
+      Arg.conv (parse, fun ppf (s, _) -> Format.pp_print_string ppf s)
+    in
+    Arg.(
+      value
+      & opt portfolio_conv ("default", Fuzz.default_portfolio)
+      & info [ "policy" ] ~docv:"PORTFOLIO"
+          ~doc:
+            (Printf.sprintf
+               "Scheduler-policy portfolio to fuzz under: %s. $(b,crash-recover) \
+                injects crashes that usually recover (and sometimes re-crash the \
+                recovered incarnation), exploring recover-during-contention \
+                interleavings."
+               (String.concat ", " Fuzz.portfolio_names)))
+  in
+  let run workload list_workloads n_opt runs budget max_violations seed backend
+      (_, policies) out no_shrink check_domains gen_domains pool_stats =
     if list_workloads then begin
       List.iter
         (fun (w : Fuzz_run.t) ->
@@ -395,8 +436,8 @@ let fuzz_cmd =
       (fun (w : Fuzz_run.t) ->
         let n = Option.value n_opt ~default:w.Fuzz_run.default_n in
         let report =
-          Fuzz_run.fuzz ~backend ?time_budget:budget ~runs ~max_violations ~seed
-            ~check_domains ~gen_domains w ~n
+          Fuzz_run.fuzz ~backend ~policies ?time_budget:budget ~runs ~max_violations
+            ~seed ~check_domains ~gen_domains w ~n
         in
         print_fuzz_report ~pool_stats report;
         List.iter
@@ -426,6 +467,7 @@ let fuzz_cmd =
               Filename.concat out
                 (Printf.sprintf "%s-n%d-%d.scsrepro" v.Fuzz.v_workload n v.Fuzz.v_seed)
             in
+            ensure_dir out;
             Fuzz.Repro.save path repro;
             Printf.printf "repro written to %s\n" path)
           report.Fuzz.r_violations;
@@ -441,7 +483,7 @@ let fuzz_cmd =
           when violations were found).")
     Term.(
       const run $ workload_arg $ list_arg $ n_opt_arg $ runs_arg $ budget_arg $ max_viol_arg
-      $ seed_arg $ backend_arg $ out_arg $ no_shrink_arg $ check_domains_arg
+      $ seed_arg $ backend_arg $ policy_arg $ out_arg $ no_shrink_arg $ check_domains_arg
       $ gen_domains_arg $ stats_flag_arg)
 
 (* ---- stats ----------------------------------------------------------------- *)
@@ -982,6 +1024,7 @@ let difffuzz_cmd =
                 (Printf.sprintf "%s-sc%d-n%d-%d.scsrepro" f.Diff_fuzz.df_workload
                    f.Diff_fuzz.df_lag n f.Diff_fuzz.df_seed)
             in
+            ensure_dir out;
             Fuzz.Repro.save path repro;
             Printf.printf "repro written to %s (replay with `scs replay')\n" path)
           report.Diff_fuzz.dr_findings;
@@ -1043,10 +1086,7 @@ let replay_cmd =
             let crash_desc =
               match r.Fuzz.Repro.crashes with
               | [] -> ""
-              | cs ->
-                  Printf.sprintf " crashes %s"
-                    (String.concat ","
-                       (List.map (fun (p, k) -> Printf.sprintf "p%d@%d" p k) cs))
+              | cs -> Printf.sprintf " crashes %s" (Crash.list_to_string cs)
             in
             Printf.printf "%s [%s n=%d %d turns%s]: %s\n" file r.Fuzz.Repro.workload n
               (Array.length r.Fuzz.Repro.schedule) crash_desc describe;

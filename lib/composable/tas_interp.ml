@@ -129,6 +129,10 @@ let interpret_events evs ~hinit ~habort ~hfull =
             go (A.Init { seq; pid; req; hist = hinit } :: acc) rest
         | Trace.Abort { seq; pid; req; _ } ->
             go (A.Abort { seq; pid; req; hist = habort } :: acc) rest
+        (* a crash-recovery re-entry is not an abstract-boundary event:
+           the operation is already invoked and not yet responded, so
+           the Abstract event sequence is unchanged *)
+        | Trace.Recover _ -> go acc rest
         | Trace.Commit { seq; pid; req; resp; _ } -> (
             match prefix_up_to hfull (Request.id req) with
             | None ->

@@ -1,0 +1,49 @@
+(** Recoverable AbortableBakery: Algorithm 4 under the crash-recovery
+    model.
+
+    Durability assignment: the announcement arrays [(Ai)]/[(Bi)], the
+    [Quit] flag, [Dec] and the per-process write-ahead phase registers
+    are durable; the only volatile state is a per-process decided-hint
+    cache, which short-circuits a proposal into a durable [Dec] read and
+    can therefore never manufacture a decision on its own (a wiped hint
+    just costs the slow path again).
+
+    Recovery is deliberately minimal: an interrupted proposal is aborted
+    by raising [Quit] (which only ever forces aborts — agreement-safe)
+    while the durable announcements the crashed attempt published remain
+    adoptable by the survivors. Both recovery writes are idempotent, so
+    crash-during-recovery converges.
+
+    [~volatile_announce:true] builds the {e deliberately unsound}
+    variant with volatile announcement arrays [(Ai)] — the instructive
+    failure the recovery fuzzer hunts (workload
+    [recoverable-bakery-volatile]): a crash wipes every in-flight
+    announcement, after which two survivors can both pass their clean
+    checks against an empty array and commit different values. *)
+
+open Scs_composable
+
+type 'v phase = P_idle | P_run of 'v option
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  type nonrec 'v phase = 'v phase = P_idle | P_run of 'v option
+  type 'v t
+
+  val create : name:string -> ?volatile_announce:bool -> n:int -> unit -> 'v t
+  (** [n] is the number of processes (pids [0 .. n-1]).
+      [volatile_announce] (default [false]) makes the [(Ai)] array
+      volatile — the unsound variant described above. *)
+
+  val propose : 'v t -> pid:int -> 'v option -> ('v option, 'v option) Outcome.t
+
+  val recover : 'v t -> pid:int -> ('v option, 'v option) Outcome.t option
+  (** Recovery entry point for [pid]: [None] when no operation was in
+      flight at the crash, otherwise aborts the interrupted proposal
+      (raising [Quit]) and returns [Abort] carrying the current durable
+      decision as switch value. Idempotent under repeated crashes. *)
+
+  val decision : 'v t -> 'v option
+  (** Current durable decision (diagnostic). *)
+
+  val instance : 'v t -> 'v Consensus_intf.t
+end

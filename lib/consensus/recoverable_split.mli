@@ -1,0 +1,48 @@
+(** Recoverable SplitConsensus: Algorithm 3 under the crash-recovery
+    model, with an explicit durable/volatile split and an idempotent
+    recovery procedure.
+
+    Durability assignment and why it is safe:
+    - the splitter door [X] is {e volatile} — after a wipe it reads
+      [None], which can only deny a Stop (a Stop needs the reader's own
+      stale [Some pid]), so crashes cost liveness there, never safety;
+    - the splitter latch [Y], the decision [V], the contention flag [C]
+      and the per-process phase registers are {e durable}: [Y] remembers
+      the door was consumed while the winner is down, [V] moves ⊥ →
+      [Some v] at most once per instance, and the write-ahead phase
+      ([P_run v] before any shared write, [P_won v] before the decision
+      write) tells {!Make.recover} exactly what to redo.
+
+    Recovery is idempotent — it only re-reads durable state and
+    re-writes values already written — so a crash {e during} recovery
+    followed by another recovery converges to the same outcome, and a
+    crash after the phase returns to [P_idle] simply leaves the
+    operation without a response (a pending operation, exactly as under
+    fail-stop). *)
+
+open Scs_composable
+
+type 'v phase = P_idle | P_run of 'v option | P_won of 'v option
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  type nonrec 'v phase = 'v phase = P_idle | P_run of 'v option | P_won of 'v option
+  type 'v t
+
+  val create : name:string -> n:int -> unit -> 'v t
+  (** [n] is the number of processes (pids [0 .. n-1]), sizing the
+      per-process phase array. *)
+
+  val propose : 'v t -> pid:int -> 'v option -> ('v option, 'v option) Outcome.t
+
+  val recover : 'v t -> pid:int -> ('v option, 'v option) Outcome.t option
+  (** The recovery entry point for [pid]: [None] when no operation was
+      in flight at the crash; otherwise completes the interrupted
+      proposal and returns its outcome ([Abort] for an undistinguished
+      proposal — the crash counts as contention — or the re-executed
+      decision for a [P_won] crash). Idempotent under repeated crashes. *)
+
+  val decision : 'v t -> 'v option
+  (** Current durable tentative decision (diagnostic). *)
+
+  val instance : 'v t -> 'v Consensus_intf.t
+end

@@ -78,6 +78,7 @@ let queue_history rng ~size ~width =
           invoke_seq = invs.(i);
           invoke_ts = invs.(i);
           op_init = None;
+          op_recoveries = 0;
           outcome = Trace.Committed { resp; resp_seq = res; resp_ts = res };
         }
         :: !out;

@@ -6,15 +6,22 @@ type ('i, 'r, 'v) event =
   | Init of { seq : int; ts : int; pid : int; req : 'i Request.t; switch : 'v }
   | Commit of { seq : int; ts : int; pid : int; req : 'i Request.t; resp : 'r }
   | Abort of { seq : int; ts : int; pid : int; req : 'i Request.t; switch : 'v }
+  | Recover of { seq : int; ts : int; pid : int; req : 'i Request.t }
 
 let event_seq = function
-  | Invoke { seq; _ } | Init { seq; _ } | Commit { seq; _ } | Abort { seq; _ } -> seq
+  | Invoke { seq; _ } | Init { seq; _ } | Commit { seq; _ } | Abort { seq; _ }
+  | Recover { seq; _ } ->
+      seq
 
 let event_pid = function
-  | Invoke { pid; _ } | Init { pid; _ } | Commit { pid; _ } | Abort { pid; _ } -> pid
+  | Invoke { pid; _ } | Init { pid; _ } | Commit { pid; _ } | Abort { pid; _ }
+  | Recover { pid; _ } ->
+      pid
 
 let event_req = function
-  | Invoke { req; _ } | Init { req; _ } | Commit { req; _ } | Abort { req; _ } -> req
+  | Invoke { req; _ } | Init { req; _ } | Commit { req; _ } | Abort { req; _ }
+  | Recover { req; _ } ->
+      req
 
 type ('i, 'r, 'v) t = { clock : unit -> int; events : ('i, 'r, 'v) event Vec.t }
 
@@ -41,6 +48,10 @@ let abort t ~pid req switch =
   let seq, ts = next t in
   Vec.push t.events (Abort { seq; ts; pid; req; switch })
 
+let recover t ~pid req =
+  let seq, ts = next t in
+  Vec.push t.events (Recover { seq; ts; pid; req })
+
 let events t = Vec.to_array t.events
 let length t = Vec.length t.events
 
@@ -50,6 +61,7 @@ type ('i, 'r, 'v) operation = {
   invoke_seq : int;
   invoke_ts : int;
   op_init : 'v option;
+  op_recoveries : int;
   outcome : ('i, 'r, 'v) outcome;
 }
 
@@ -66,8 +78,33 @@ let operations evs =
     if Hashtbl.mem tbl id then
       invalid_arg (Printf.sprintf "Trace.operations: request %d invoked twice" id);
     Hashtbl.replace tbl id
-      { op_pid = pid; op_req = req; invoke_seq = seq; invoke_ts = ts; op_init = init_v; outcome = Pending };
+      {
+        op_pid = pid;
+        op_req = req;
+        invoke_seq = seq;
+        invoke_ts = ts;
+        op_init = init_v;
+        op_recoveries = 0;
+        outcome = Pending;
+      };
     Vec.push order id
+  in
+  (* a Recover is a re-invocation of a pending request, not a fresh
+     operation: the operation keeps its original invocation point (it
+     was in flight across the crash) and just counts the recovery *)
+  let recover_invocation ~req =
+    let id = Request.id req in
+    match Hashtbl.find_opt tbl id with
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Trace.operations: recovery for uninvoked request %d" id)
+    | Some op -> (
+        match op.outcome with
+        | Pending ->
+            Hashtbl.replace tbl id { op with op_recoveries = op.op_recoveries + 1 }
+        | _ ->
+            invalid_arg
+              (Printf.sprintf "Trace.operations: recovery after response of request %d" id))
   in
   let respond ~req outcome =
     let id = Request.id req in
@@ -89,7 +126,8 @@ let operations evs =
       | Commit { seq; ts; req; resp; _ } ->
           respond ~req (Committed { resp; resp_seq = seq; resp_ts = ts })
       | Abort { seq; ts; req; switch; _ } ->
-          respond ~req (Aborted { switch; resp_seq = seq; resp_ts = ts }))
+          respond ~req (Aborted { switch; resp_seq = seq; resp_ts = ts })
+      | Recover { req; _ } -> recover_invocation ~req)
     evs;
   List.map (fun id -> Hashtbl.find tbl id) (Vec.to_list order)
 

@@ -29,6 +29,10 @@ type ('i, 'r, 'v) event =
       (** an invocation carrying a switch value for module initialisation *)
   | Commit of { seq : int; ts : int; pid : int; req : 'i Request.t; resp : 'r }
   | Abort of { seq : int; ts : int; pid : int; req : 'i Request.t; switch : 'v }
+  | Recover of { seq : int; ts : int; pid : int; req : 'i Request.t }
+      (** the process crashed while the request was in flight and its
+          recovery code re-entered the operation: a {e re-invocation} of
+          the same request, not a fresh operation — see {!operations} *)
 
 val event_seq : ('i, 'r, 'v) event -> int
 val event_pid : ('i, 'r, 'v) event -> int
@@ -55,6 +59,11 @@ val commit : ('i, 'r, 'v) t -> pid:int -> 'i Request.t -> 'r -> unit
 val abort : ('i, 'r, 'v) t -> pid:int -> 'i Request.t -> 'v -> unit
 (** Record an aborted response carrying its switch value. *)
 
+val recover : ('i, 'r, 'v) t -> pid:int -> 'i Request.t -> unit
+(** Record a crash-recovery re-entry into a pending request. Must fall
+    strictly between the request's invocation and its response —
+    {!operations} rejects anything else. *)
+
 val events : ('i, 'r, 'v) t -> ('i, 'r, 'v) event array
 (** Snapshot of the recorded events in [seq] order. O(events). *)
 
@@ -68,6 +77,9 @@ type ('i, 'r, 'v) operation = {
   invoke_seq : int;
   invoke_ts : int;
   op_init : 'v option;  (** switch value if invoked via [init] *)
+  op_recoveries : int;
+      (** number of [Recover] re-invocations folded into this operation
+          (0 for a crash-free operation) *)
   outcome : ('i, 'r, 'v) outcome;
 }
 
@@ -77,9 +89,15 @@ and ('i, 'r, 'v) outcome =
   | Pending  (** invoked, never responded (e.g. crashed) *)
 
 val operations : ('i, 'r, 'v) event array -> ('i, 'r, 'v) operation list
-(** Pair invocations with their responses (matched by request id). Raises
-    [Invalid_argument] on malformed traces (response without invocation,
-    duplicate invocation of one request id, ...). *)
+(** Pair invocations with their responses (matched by request id). A
+    [Recover] event is folded into its request's single operation as a
+    re-invocation: the operation keeps its original [invoke_seq] (it was
+    in flight across the crash, so its real-time interval spans original
+    invocation to final response — the checkers need no special case)
+    and [op_recoveries] counts the re-entries. Raises [Invalid_argument]
+    on malformed traces (response without invocation, duplicate
+    invocation of one request id, recovery of an uninvoked or
+    already-responded request, ...). *)
 
 val committed : ('i, 'r, 'v) operation list -> ('i, 'r, 'v) operation list
 val aborted : ('i, 'r, 'v) operation list -> ('i, 'r, 'v) operation list

@@ -8,6 +8,7 @@ type event =
   | Op_end of { ts : int; pid : int; obj : int; aborted : bool }
   | Handoff of { ts : int; pid : int; label : string }
   | Crash of { ts : int; pid : int }
+  | Recover of { ts : int; pid : int }
   | Note of { ts : int; text : string }
 
 type op_metric = {
@@ -48,6 +49,7 @@ let tag_op_end_abort = 5
 let tag_handoff = 6 (* ts pid, s1=label *)
 let tag_crash = 7 (* ts pid *)
 let tag_note = 8 (* ts, s1=text *)
+let tag_recover = 9 (* ts pid *)
 
 type t = {
   enabled : bool;
@@ -73,6 +75,7 @@ type t = {
   aborts : int array;
   handoffs : int array;
   mutable crashed : int list;  (* reverse crash order *)
+  mutable recovered : int list;  (* reverse recovery order *)
   (* per-object access census, dense int-indexed arrays (simulator obj
      ids are small and dense); an object is "seen" iff its step count is
      positive, and keeps the name of its first recorded access *)
@@ -113,6 +116,7 @@ let create ?(ring_capacity = 4096) ?(record_ring = true) ~n () =
     aborts = Array.make n 0;
     handoffs = Array.make n 0;
     crashed = [];
+    recovered = [];
     obj_names = [||];
     obj_steps = [||];
     obj_rmws = [||];
@@ -144,6 +148,7 @@ let null =
     aborts = [||];
     handoffs = [||];
     crashed = [];
+    recovered = [];
     obj_names = [||];
     obj_steps = [||];
     obj_rmws = [||];
@@ -295,6 +300,12 @@ let crash t ~pid =
     push_raw t tag_crash t.clock pid 0 "" ""
   end
 
+let recover t ~pid =
+  if t.enabled then begin
+    t.recovered <- pid :: t.recovered;
+    push_raw t tag_recover t.clock pid 0 "" ""
+  end
+
 let note t text = if t.enabled then push_raw t tag_note t.clock 0 0 text ""
 
 let n t = t.n
@@ -307,6 +318,7 @@ let total_aborts t = Array.fold_left ( + ) 0 t.aborts
 let handoffs_of t pid = t.handoffs.(pid)
 let total_handoffs t = Array.fold_left ( + ) 0 t.handoffs
 let crashes t = List.rev t.crashed
+let recoveries t = List.rev t.recovered
 
 let objects t =
   let acc = ref [] in
@@ -331,6 +343,7 @@ let event_at t i =
   else if tag = tag_op_end_abort then Op_end { ts; pid; obj; aborted = true }
   else if tag = tag_handoff then Handoff { ts; pid; label = t.r_s1.(idx) }
   else if tag = tag_crash then Crash { ts; pid }
+  else if tag = tag_recover then Recover { ts; pid }
   else Note { ts; text = t.r_s1.(idx) }
 
 let events t = List.init t.ring_len (event_at t)
@@ -348,8 +361,9 @@ let merge_into ~into src =
       into.aborts.(pid) <- into.aborts.(pid) + src.aborts.(pid);
       into.handoffs.(pid) <- into.handoffs.(pid) + src.handoffs.(pid)
     done;
-    (* crashes: source crash order appended after the destination's *)
+    (* crashes/recoveries: source order appended after the destination's *)
     into.crashed <- src.crashed @ into.crashed;
+    into.recovered <- src.recovered @ into.recovered;
     for id = 0 to src.obj_hi - 1 do
       if src.obj_steps.(id) > 0 then begin
         ensure_obj into id;
@@ -384,4 +398,5 @@ let event_to_string = function
       Printf.sprintf "%4d  p%d  end   #%d%s" ts pid obj (if aborted then " ABORT" else "")
   | Handoff { ts; pid; label } -> Printf.sprintf "%4d  p%d  handoff %s" ts pid label
   | Crash { ts; pid } -> Printf.sprintf "%4d  p%d  CRASH" ts pid
+  | Recover { ts; pid } -> Printf.sprintf "%4d  p%d  RECOVER" ts pid
   | Note { ts; text } -> Printf.sprintf "%4d  --  %s" ts text

@@ -59,6 +59,9 @@ type event =
       (** a switch value crossing an abort boundary (A1 → backup, or a
           stage hand-off in a consensus chain) *)
   | Crash of { ts : int; pid : int }
+  | Recover of { ts : int; pid : int }
+      (** a crashed process re-admitted via its recovery entry point
+          ({!Scs_sim.Sim.set_recovery}) *)
   | Note of { ts : int; text : string }
 
 (** Everything the sink learned about one completed bracketed
@@ -130,6 +133,11 @@ val crash : t -> pid:int -> unit
 (** Record a crash injected by a policy. Closes any open bracket as
     aborted. *)
 
+val recover : t -> pid:int -> unit
+(** Record the re-admission of a crashed process (called by the
+    simulator when recovery code is scheduled). Opens no bracket — the
+    recovery code brackets its own operations if it wants metrics. *)
+
 val note : t -> string -> unit
 (** Free-form marker in the structured trace. *)
 
@@ -153,6 +161,10 @@ val handoffs_of : t -> int -> int
 val total_handoffs : t -> int
 val crashes : t -> int list
 (** Pids recorded as crashed, in crash order. *)
+
+val recoveries : t -> int list
+(** Pids recorded as recovered (re-admitted after a crash), in recovery
+    order. *)
 
 val objects : t -> (string * int * int) list
 (** Per-object step census: [(name, steps, rmws)] sorted by steps,

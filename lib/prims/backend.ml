@@ -7,6 +7,8 @@ let name = function
   | Sim_sc { lag } -> Printf.sprintf "sim-sc:%d" lag
   | Native -> "native"
 
+let valid_names = [ "sim-lin"; "sim-sc"; "sim-sc:<lag>"; "native" ]
+
 let of_string s =
   let lag_of prefix =
     let pl = String.length prefix in
@@ -25,8 +27,8 @@ let of_string s =
           else Error (Printf.sprintf "backend %S: lag must be non-negative" s)
       | None, None ->
           Error
-            (Printf.sprintf
-               "unknown backend %S (expected sim-lin, sim-sc, sim-sc:<lag> or native)" s))
+            (Printf.sprintf "unknown backend %S (valid backends: %s)" s
+               (String.concat ", " valid_names)))
 
 let is_sim = function Sim_lin | Sim_sc _ -> true | Native -> false
 let lag = function Sim_sc { lag } -> Some lag | Sim_lin | Native -> None

@@ -23,7 +23,12 @@ val name : t -> string
 
 val of_string : string -> (t, string) result
 (** Accepts ["sim-lin"]/["lin"], ["sim-sc"]/["sc"] (default lag),
-    ["sim-sc:<lag>"]/["sc:<lag>"], ["native"]. *)
+    ["sim-sc:<lag>"]/["sc:<lag>"], ["native"]. The error message for an
+    unknown name enumerates {!valid_names}. *)
+
+val valid_names : string list
+(** Canonical backend names (["sim-sc:<lag>"] as a pattern), the single
+    source for CLI/library error messages and docs. *)
 
 val is_sim : t -> bool
 

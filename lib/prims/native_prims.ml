@@ -1,6 +1,7 @@
 type 'a reg = 'a Atomic.t
 
 let reg ~name:_ v = Atomic.make v
+let volatile_reg = reg
 let read = Atomic.get
 let write = Atomic.set
 

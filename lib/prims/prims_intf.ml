@@ -24,6 +24,15 @@ module type S = sig
   val read : 'a reg -> 'a
   val write : 'a reg -> 'a -> unit
 
+  val volatile_reg : name:string -> 'a -> 'a reg
+  (** A register whose contents do {e not} survive crashes: under the
+      simulator's crash-recovery model every crash (of any process)
+      resets it to its creation value, modelling DRAM next to the
+      durable (NVM-like) registers {!reg} builds. Reads and writes cost
+      the same as {!reg}; only crash behaviour differs. On the native
+      backend — where crashes are not simulated — this is an alias of
+      {!reg}. *)
+
   (** {1 Hardware test-and-set — consensus number 2} *)
 
   type tas_obj

@@ -29,7 +29,7 @@ let make ?(lag = default_lag) (sim : Sim.t) : (module Prims_intf.S) =
        backend (reads always serve the log head). *)
     type 'a reg = { log : 'a Vec.t; views : int array; id : int; name : string }
 
-    let reg ~name v =
+    let make_reg ~volatile ~name v =
       let log = Vec.create () in
       Vec.push log v;
       let views = Array.make n 0 in
@@ -37,8 +37,15 @@ let make ?(lag = default_lag) (sim : Sim.t) : (module Prims_intf.S) =
         Vec.truncate log 1;
         Array.fill views 0 n 0
       in
-      let id = Sim.custom_obj sim ~reset () in
+      (* a volatile SC register loses its whole write log on any crash:
+         survivors fall back to the creation value and, views being
+         rewound too, monotonicity restarts from the wiped state *)
+      let wipe = if volatile then Some reset else None in
+      let id = Sim.custom_obj sim ?wipe ~reset () in
       { log; views; id; name }
+
+    let reg ~name v = make_reg ~volatile:false ~name v
+    let volatile_reg ~name v = make_reg ~volatile:true ~name v
 
     let read r =
       Sim.custom_op ~obj:r.id ~obj_name:r.name ~kind:Op.Read ~info:"" (fun () ->

@@ -5,6 +5,7 @@ let make (sim : Sim.t) : (module Prims_intf.S) =
     type 'a reg = 'a Sim.reg
 
     let reg ~name v = Sim.reg sim ~name v
+    let volatile_reg ~name v = Sim.reg sim ~volatile:true ~name v
     let read = Sim.read
     let write = Sim.write
 

@@ -1,0 +1,37 @@
+(** Crash-event specifications.
+
+    A crash event names a victim process [pid], a trigger threshold [at]
+    (the event fires once the victim has executed at least [at] memory
+    steps — the same per-process step clock as
+    {!Policy.with_crash_events}), and an optional recovery delay: [None]
+    is a terminal, fail-stop crash; [Some d] re-admits the process's
+    registered recovery code {!Sim.set_recovery} after [d] further
+    global memory steps.
+
+    The textual forms round-trip through the [.scsrepro] format:
+    [pid@at] for a terminal crash and [pid@at+d] for a recovering one;
+    lists are comma-separated, with ["-"] denoting the empty list. *)
+
+type t = { pid : int; at : int; recover : int option }
+
+val terminal : pid:int -> at:int -> t
+val recovering : pid:int -> at:int -> after:int -> t
+
+val of_pairs : (int * int) list -> t list
+(** Terminal crash events from the historic [(pid, at)] pair encoding. *)
+
+val is_recovering : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val canonical : t list -> t list
+(** Sorted (ascending pid, then trigger step) with duplicates removed —
+    the firing order the crash-arming policies use. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val list_to_string : t list -> string
+(** ["-"] for the empty list, else comma-separated {!to_string} forms. *)
+
+val list_of_string : string -> t list option
+val pp : Format.formatter -> t -> unit

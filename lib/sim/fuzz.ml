@@ -5,9 +5,9 @@ exception Skip of string
 
 type sched_kind = Uniform | Sticky of float | Weighted | Pct of int
 
-type policy_spec = { kind : sched_kind; crash_faults : bool }
+type policy_spec = { kind : sched_kind; crash_faults : bool; crash_recover : bool }
 
-let spec_name { kind; crash_faults } =
+let spec_name { kind; crash_faults; crash_recover } =
   let base =
     match kind with
     | Uniform -> "uniform"
@@ -15,16 +15,36 @@ let spec_name { kind; crash_faults } =
     | Weighted -> "weighted"
     | Pct k -> Printf.sprintf "pct(%d)" k
   in
-  if crash_faults then base ^ "+crash" else base
+  if crash_recover then base ^ "+crashrec" else if crash_faults then base ^ "+crash" else base
 
 let default_portfolio =
   [
-    { kind = Uniform; crash_faults = false };
-    { kind = Sticky 0.25; crash_faults = false };
-    { kind = Weighted; crash_faults = false };
-    { kind = Pct 3; crash_faults = false };
-    { kind = Uniform; crash_faults = true };
+    { kind = Uniform; crash_faults = false; crash_recover = false };
+    { kind = Sticky 0.25; crash_faults = false; crash_recover = false };
+    { kind = Weighted; crash_faults = false; crash_recover = false };
+    { kind = Pct 3; crash_faults = false; crash_recover = false };
+    { kind = Uniform; crash_faults = true; crash_recover = false };
   ]
+
+let recover_portfolio =
+  [
+    { kind = Uniform; crash_faults = true; crash_recover = true };
+    { kind = Sticky 0.25; crash_faults = true; crash_recover = true };
+    { kind = Pct 3; crash_faults = true; crash_recover = true };
+  ]
+
+let portfolio_names =
+  [ "default"; "all"; "uniform"; "sticky"; "weighted"; "pct"; "crash"; "crash-recover" ]
+
+let portfolio_of_string = function
+  | "default" | "all" -> Some default_portfolio
+  | "uniform" -> Some [ { kind = Uniform; crash_faults = false; crash_recover = false } ]
+  | "sticky" -> Some [ { kind = Sticky 0.25; crash_faults = false; crash_recover = false } ]
+  | "weighted" -> Some [ { kind = Weighted; crash_faults = false; crash_recover = false } ]
+  | "pct" -> Some [ { kind = Pct 3; crash_faults = false; crash_recover = false } ]
+  | "crash" -> Some [ { kind = Uniform; crash_faults = true; crash_recover = false } ]
+  | "crash-recover" -> Some recover_portfolio
+  | _ -> None
 
 type violation = {
   v_workload : string;
@@ -32,7 +52,7 @@ type violation = {
   v_policy : string;
   v_seed : int;
   v_schedule : int array;
-  v_crashes : (Sim.pid * int) list;
+  v_crashes : Crash.t list;
   v_error : string;
 }
 
@@ -126,23 +146,48 @@ let fast_base_policy kind rng n =
       Policy.fast_weighted rng w
   | Pct k -> Policy.fast_pct rng ~k ~depth:(16 * n)
 
-let gen_crashes rng n max_crash_steps =
-  List.filter_map
+(* Crash events for one run. With [recover = false] the Rng draws are
+   exactly the historic [gen_crashes] stream (one bernoulli per pid plus
+   one int per victim), so fail-stop portfolios keep their seed-for-seed
+   behaviour. With [recover = true] each victim usually (3/4) gets a
+   recovery delay of 0..7 further global steps, and sometimes (1/4) a
+   second crash event landing on the recovered incarnation — the
+   recover-during-contention interleavings the crash-recovery model is
+   about. *)
+let gen_crash_events ~recover rng n max_crash_steps =
+  List.concat_map
     (fun p ->
-      if Rng.bernoulli rng 0.25 then Some (p, 1 + Rng.int rng max_crash_steps)
-      else None)
+      if not (Rng.bernoulli rng 0.25) then []
+      else begin
+        let at = 1 + Rng.int rng max_crash_steps in
+        if not recover then [ Crash.terminal ~pid:p ~at ]
+        else if Rng.bernoulli rng 0.75 then begin
+          let first = Crash.recovering ~pid:p ~at ~after:(Rng.int rng 8) in
+          if Rng.bernoulli rng 0.25 then begin
+            let at2 = at + 1 + Rng.int rng max_crash_steps in
+            let second =
+              if Rng.bernoulli rng 0.5 then Crash.recovering ~pid:p ~at:at2 ~after:(Rng.int rng 8)
+              else Crash.terminal ~pid:p ~at:at2
+            in
+            [ first; second ]
+          end
+          else [ first ]
+        end
+        else [ Crash.terminal ~pid:p ~at ]
+      end)
     (List.init n (fun p -> p))
 
 (* Replay a captured [(schedule, crashes)] pair against a fresh simulator.
    Strict scripting: any divergence from the recorded schedule raises
    [Policy.Replay_drift] instead of silently executing a different run.
    The crash wrapper sits outside the script, mirroring the fuzz loop
-   ([with_crashes] fires on [Sim.steps_of], which evolves identically for
-   identical executed turn prefixes). *)
+   ([with_crash_events] fires on [Sim.steps_of], which evolves identically
+   for identical executed turn prefixes; recovery re-admission is
+   clock-driven and therefore equally deterministic). *)
 let replay ?max_steps ~n ~setup ~schedule ~crashes () =
   let sim = Sim.create ?max_steps ~n () in
   setup sim;
-  Sim.run sim (Policy.with_crashes crashes (Policy.scripted ~strict:true schedule));
+  Sim.run sim (Policy.with_crash_events crashes (Policy.scripted ~strict:true schedule));
   sim
 
 let now = Unix.gettimeofday
@@ -164,7 +209,7 @@ type pending = {
   pd_run : int;
   pd_seed : int;
   pd_schedule : int array;
-  pd_crashes : (Sim.pid * int) list;
+  pd_crashes : Crash.t list;
   pd_check : unit -> unit;
   pd_done : unit -> unit;
 }
@@ -324,7 +369,9 @@ let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
               let sim = Pool.acquire sim_pool in
               setup sim;
               let crashes =
-                if spec.crash_faults then gen_crashes rng n max_crash_steps else []
+                if spec.crash_faults then
+                  gen_crash_events ~recover:spec.crash_recover rng n max_crash_steps
+                else []
               in
               Vec.clear buf;
               let fast = fast_base_policy spec.kind rng n in
@@ -333,7 +380,7 @@ let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
                   (match crashes with
                   | [] -> Policy.drive ~capture:buf sim fast
                   | cs ->
-                      Policy.arm_crashes plan cs;
+                      Policy.arm_crash_events plan cs;
                       Policy.drive ~capture:buf ~crashes:plan sim fast);
                   true
                 with
@@ -368,11 +415,14 @@ let run ?(policies = default_portfolio) ?(runs = 1000) ?time_budget
               let sim = Sim.create ?max_steps ~obs:dobs ~n () in
               setup sim;
               let crashes =
-                if spec.crash_faults then gen_crashes rng n max_crash_steps else []
+                if spec.crash_faults then
+                  gen_crash_events ~recover:spec.crash_recover rng n max_crash_steps
+                else []
               in
               let fbuf = Vec.create () in
               let pol =
-                Policy.with_crashes crashes (Policy.capture fbuf (base_policy spec.kind rng n))
+                Policy.with_crash_events crashes
+                  (Policy.capture fbuf (base_policy spec.kind rng n))
               in
               (try
                  Sim.run sim pol;
@@ -502,7 +552,7 @@ module Repro = struct
     seed : int;
     policy : string;
     error : string;
-    crashes : (Sim.pid * int) list;
+    crashes : Crash.t list;
     schedule : int array;
   }
 
@@ -525,11 +575,7 @@ module Repro = struct
     Printf.bprintf b "seed %d\n" r.seed;
     Printf.bprintf b "policy %s\n" r.policy;
     Printf.bprintf b "error %s\n" r.error;
-    (match r.crashes with
-    | [] -> Buffer.add_string b "crashes -\n"
-    | cs ->
-        Printf.bprintf b "crashes %s\n"
-          (String.concat "," (List.map (fun (p, k) -> Printf.sprintf "%d@%d" p k) cs)));
+    Printf.bprintf b "crashes %s\n" (Crash.list_to_string r.crashes);
     Printf.bprintf b "schedule %s\n"
       (String.concat " " (Array.to_list (Array.map string_of_int r.schedule)));
     Buffer.contents b
@@ -553,14 +599,9 @@ module Repro = struct
         match rest with
         | [ lw; ln; ls; lp; le; lc; lsched ] ->
             let crashes =
-              match field "crashes" lc with
-              | "-" -> []
-              | cs ->
-                  String.split_on_char ',' cs
-                  |> List.map (fun c ->
-                         match String.split_on_char '@' c with
-                         | [ p; k ] -> (int_of_string p, int_of_string k)
-                         | _ -> fail "bad crash entry %S" c)
+              match Crash.list_of_string (field "crashes" lc) with
+              | Some cs -> cs
+              | None -> fail "bad crashes field %S" (field "crashes" lc)
             in
             let schedule =
               field "schedule" lsched |> String.split_on_char ' '
@@ -597,46 +638,78 @@ end
 
 let render_lanes ?(title = "failing schedule") ~n ~schedule ~crashes () =
   let len = Array.length schedule in
-  (* Where a crash actually fired. [Policy.with_crashes (p, k)] retires
-     process [p] once it has executed [k] memory steps; a process's
-     first captured turn only advances it to its first operation (no
-     memory step), so [p] reaches [k] steps at its [(k+1)]-th captured
-     turn and the crash takes effect at the next scheduler decision.
-     Returns the cell index one past that turn, [Some len] if the run
-     ended exactly there, or [None] if the process never reached [k]
-     steps (the crash never fired). *)
-  let crash_point p =
-    match List.assoc_opt p crashes with
-    | None -> None
-    | Some k ->
-        let seen = ref 0 in
-        let idx = ref None in
-        Array.iteri
-          (fun i q ->
-            if q = p && !idx = None then begin
-              incr seen;
-              if !seen = k + 1 then idx := Some (i + 1)
-            end)
-          schedule;
-        !idx
+  (* Walk process [p]'s lane, simulating how its crash events fired
+     against the captured schedule. A crash event [at = k] fires once
+     [p] has executed [k] memory steps; [p]'s first captured turn after
+     a (re)start only advances it to its first operation (no memory
+     step), so the step count lags its turn count by one per
+     incarnation. A firing crash marks [X] on the next cell (the
+     scheduler decision at which the crash policy retired the process,
+     [len] = appended past the end if the run ended there); a recovering
+     crash additionally marks [R] on [p]'s first captured turn after the
+     crash — the re-admitted recovery code's first turn. Returns the
+     fired count and the overlay list [(cell, char)]. *)
+  let walk p =
+    let events = List.filter (fun (c : Crash.t) -> c.pid = p) (Crash.canonical crashes) in
+    let marks = ref [] in
+    let fired = ref 0 in
+    let steps = ref 0 in
+    let fresh = ref true in
+    (* [p] has a turn coming that advances to its first op, no step *)
+    let crashed = ref false in
+    let recovering = ref false in
+    let pending = ref events in
+    for i = 0 to len do
+      (* decision point before cell [i] ([i = len]: after the last turn) *)
+      (match !pending with
+      | (c : Crash.t) :: rest when (not !crashed) && !steps >= c.at ->
+          marks := (i, 'X') :: !marks;
+          incr fired;
+          crashed := true;
+          recovering := c.recover <> None;
+          pending := rest
+      | _ -> ());
+      if i < len && schedule.(i) = p then
+        if !crashed then begin
+          if !recovering then begin
+            (* first turn of the re-admitted recovery fiber *)
+            marks := (i, 'R') :: !marks;
+            crashed := false;
+            recovering := false;
+            fresh := false
+            (* the R turn is the no-step advance turn *)
+          end
+        end
+        else if !fresh then fresh := false
+        else incr steps
+    done;
+    (!fired, List.rev !marks)
   in
   (* ASCII only: Table pads cells by byte length *)
-  let lane p =
-    let base = String.init len (fun i -> if schedule.(i) = p then '#' else '.') in
-    match crash_point p with
-    | Some m when m < len -> String.mapi (fun i c -> if i = m then 'X' else c) base
-    | Some _ -> base ^ "X"  (* crash point at/after the end of the run *)
-    | None -> base
+  let lane p marks =
+    let base = Bytes.init len (fun i -> if schedule.(i) = p then '#' else '.') in
+    let extra = ref "" in
+    List.iter
+      (fun (i, ch) -> if i < len then Bytes.set base i ch else extra := !extra ^ String.make 1 ch)
+      marks;
+    Bytes.to_string base ^ !extra
   in
   let rows =
     List.init n (fun p ->
-        let crash =
-          match List.assoc_opt p crashes with
-          | Some k when crash_point p <> None -> Printf.sprintf " crash@%d" k
-          | Some k -> Printf.sprintf " crash@%d (unfired)" k
-          | None -> ""
+        let fired, marks = walk p in
+        let events = List.filter (fun (c : Crash.t) -> c.pid = p) (Crash.canonical crashes) in
+        let label =
+          String.concat ""
+            (List.mapi
+               (fun j (c : Crash.t) ->
+                 Printf.sprintf " crash@%s%s"
+                   (match c.recover with
+                   | None -> string_of_int c.at
+                   | Some d -> Printf.sprintf "%d+%d" c.at d)
+                   (if j >= fired then " (unfired)" else ""))
+               events)
         in
-        [ Printf.sprintf "p%d%s" p crash; lane p ])
+        [ Printf.sprintf "p%d%s" p label; lane p marks ])
   in
   let ruler =
     String.concat ""

@@ -38,13 +38,38 @@ type sched_kind =
   | Weighted  (** {!Policy.weighted} with fresh skewed per-run weights *)
   | Pct of int  (** {!Policy.pct} with [k] preemption points, depth [16n] *)
 
-type policy_spec = { kind : sched_kind; crash_faults : bool }
+type policy_spec = {
+  kind : sched_kind;
+  crash_faults : bool;  (** inject crash events (probability 1/4 per pid) *)
+  crash_recover : bool;
+      (** crash-recovery mode: injected crashes usually carry a recovery
+          delay (and sometimes a second crash on the recovered
+          incarnation) instead of being terminal. Only meaningful with
+          [crash_faults = true]; workloads without
+          {!Sim.set_recovery} entry points degrade gracefully — the
+          events fire as terminal crashes. *)
+}
 
 val spec_name : policy_spec -> string
-(** Stable display name, e.g. ["sticky(0.25)"], ["uniform+crash"]. *)
+(** Stable display name, e.g. ["sticky(0.25)"], ["uniform+crash"],
+    ["pct(3)+crashrec"]. *)
 
 val default_portfolio : policy_spec list
-(** uniform, sticky(0.25), weighted, pct(3), uniform+crash. *)
+(** uniform, sticky(0.25), weighted, pct(3), uniform+crash — unchanged
+    since the fail-stop era, so existing seed streams stay stable. *)
+
+val recover_portfolio : policy_spec list
+(** uniform+crashrec, sticky(0.25)+crashrec, pct(3)+crashrec: the
+    crash-recovery hunting portfolio ([`scs fuzz --policy
+    crash-recover`]). *)
+
+val portfolio_names : string list
+(** Valid arguments to {!portfolio_of_string}, for CLI error messages. *)
+
+val portfolio_of_string : string -> policy_spec list option
+(** Named portfolios: ["default"]/["all"] ({!default_portfolio}),
+    ["uniform"], ["sticky"], ["weighted"], ["pct"], ["crash"] (single
+    specs) and ["crash-recover"] ({!recover_portfolio}). *)
 
 (** {1 Reports} *)
 
@@ -54,7 +79,7 @@ type violation = {
   v_policy : string;
   v_seed : int;  (** per-run derived seed, for provenance *)
   v_schedule : int array;  (** complete captured pid schedule *)
-  v_crashes : (Sim.pid * int) list;
+  v_crashes : Crash.t list;
   v_error : string;
 }
 
@@ -189,13 +214,15 @@ val replay :
   n:int ->
   setup:(Sim.t -> unit) ->
   schedule:int array ->
-  crashes:(Sim.pid * int) list ->
+  crashes:Crash.t list ->
   unit ->
   Sim.t
 (** Re-execute a recorded run against a fresh simulator using
-    [Policy.scripted ~strict:true] under the same crash wrapper; raises
-    {!Policy.Replay_drift} if the schedule does not replay. The caller
-    applies its check to the returned sim. *)
+    [Policy.scripted ~strict:true] under the same crash-event wrapper;
+    raises {!Policy.Replay_drift} if the schedule does not replay.
+    Recovery re-admission is clock-driven, so recovering crashes replay
+    as deterministically as terminal ones. The caller applies its check
+    to the returned sim. *)
 
 (** {1 Repro artifacts}
 
@@ -207,10 +234,14 @@ n 3
 seed 123456
 policy sticky(0.25)
 error not strictly linearizable
-crashes 1@3,2@5
+crashes 1@3+4,2@5
 schedule 0 0 0 1 1 ...
     v}
-    [crashes] is [-] when empty. *)
+    [crashes] is [-] when empty; [p\@k] is a terminal crash of process
+    [p] after [k] of its memory steps, [p\@k+d] one that re-admits its
+    recovery code after [d] further global steps ({!Crash}). The format
+    is a backward-compatible extension of the fail-stop artifacts —
+    every pre-recovery [.scsrepro] file still parses. *)
 
 module Repro : sig
   type t = {
@@ -219,7 +250,7 @@ module Repro : sig
     seed : int;
     policy : string;
     error : string;
-    crashes : (Sim.pid * int) list;
+    crashes : Crash.t list;
     schedule : int array;
   }
 
@@ -234,16 +265,15 @@ module Repro : sig
 end
 
 val render_lanes :
-  ?title:string ->
-  n:int ->
-  schedule:int array ->
-  crashes:(Sim.pid * int) list ->
-  unit ->
-  string
+  ?title:string -> n:int -> schedule:int array -> crashes:Crash.t list -> unit -> string
 (** Per-process lane view of a schedule: one row per pid, [#] on its
-    turns, [.] elsewhere, plus a turn ruler. Crash markers are
-    rendered in-lane: an [X] at the point where the crash policy
-    retired the process (one cell past its last executed turn — see
-    {!Policy.with_crashes} step accounting), and the row label carries
-    [crash\@k], flagged [(unfired)] when the process finished before
-    reaching [k] steps so the injected crash never took effect. *)
+    turns, [.] elsewhere, plus a turn ruler. Crash markers are rendered
+    in-lane: an [X] at the point where the crash policy retired the
+    process (one cell past its last executed turn — see
+    {!Policy.with_crash_events} step accounting) and, for a crash that
+    later recovers, an [R] on the process's first turn after the crash
+    (the re-admitted recovery code's first turn) — so a recovered crash
+    reads [X…R] along the lane while a terminal one is a bare [X]. The
+    row label carries [crash\@k] / [crash\@k+d] per event, flagged
+    [(unfired)] when the process finished before reaching [k] steps so
+    that event never took effect. *)

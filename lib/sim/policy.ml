@@ -139,6 +139,34 @@ let with_crashes crashes inner =
         !pending;
     inner sim
 
+let with_crash_events events inner =
+  (* Per-pid event queues, built lazily (the simulator's [n] is unknown
+     until the first turn). Each turn fires at most the head event of
+     each queue, in ascending pid order — the same firing order as
+     {!with_crashes} on the historic pair lists, and exactly the order
+     {!drive}'s flat plan uses. A queue's head is held back while its
+     process is crashed-awaiting-recovery, so a second crash event lands
+     on the recovered incarnation rather than being swallowed. *)
+  let queues = ref [||] in
+  fun sim ->
+    let evs =
+      if Array.length !queues > 0 || events = [] then !queues
+      else begin
+        let a = Array.make (Sim.n sim) [] in
+        List.iter (fun (c : Crash.t) -> a.(c.pid) <- a.(c.pid) @ [ c ]) (Crash.canonical events);
+        queues := a;
+        a
+      end
+    in
+    for p = 0 to Array.length evs - 1 do
+      match evs.(p) with
+      | (c : Crash.t) :: rest when Sim.steps_of sim p >= c.at && not (Sim.is_crashed sim p) ->
+          Sim.crash ?recover_after:c.recover sim p;
+          evs.(p) <- rest
+      | _ -> ()
+    done;
+    inner sim
+
 let stop_when pred inner = fun sim -> if pred sim then Sim.Stop else inner sim
 
 let capture buf inner sim =
@@ -304,18 +332,20 @@ let fast_scripted ?(strict = false) script =
 (* Crash plans and the flat drive loop                                 *)
 (* ------------------------------------------------------------------ *)
 
-type crash_plan = { mutable cp_left : int; cp_at : int array }
+type crash_plan = { mutable cp_left : int; cp_events : Crash.t list array }
 
-let crash_plan ~n = { cp_left = 0; cp_at = Array.make n max_int }
+let crash_plan ~n = { cp_left = 0; cp_events = Array.make n [] }
 
-let arm_crashes plan crashes =
-  Array.fill plan.cp_at 0 (Array.length plan.cp_at) max_int;
+let arm_crash_events plan events =
+  Array.fill plan.cp_events 0 (Array.length plan.cp_events) [];
   plan.cp_left <- 0;
   List.iter
-    (fun (p, k) ->
-      if plan.cp_at.(p) = max_int then plan.cp_left <- plan.cp_left + 1;
-      plan.cp_at.(p) <- min plan.cp_at.(p) k)
-    crashes
+    (fun (c : Crash.t) ->
+      plan.cp_events.(c.pid) <- plan.cp_events.(c.pid) @ [ c ];
+      plan.cp_left <- plan.cp_left + 1)
+    (Crash.canonical events)
+
+let arm_crashes plan crashes = arm_crash_events plan (Crash.of_pairs crashes)
 
 let drive ?capture ?crashes sim fast =
   let ms = Sim.max_steps sim in
@@ -323,18 +353,23 @@ let drive ?capture ?crashes sim fast =
     if Sim.clock sim > ms then
       raise
         (Sim.Livelock (Printf.sprintf "step budget %d exhausted at clock %d" ms (Sim.clock sim)));
+    if Sim.runnable_bits sim = 0 then ignore (Sim.admit_stalled_recovery sim);
     if Sim.runnable_bits sim <> 0 then begin
-      (* fire due crashes in ascending pid order, exactly as the
-         [with_crashes] wrapper's list filter did *)
+      (* fire due crash events in ascending pid order, exactly as the
+         [with_crashes]/[with_crash_events] wrappers do; at most one
+         event per pid per turn, and a pid's next event is held while it
+         is crashed-awaiting-recovery *)
       (match crashes with
       | Some plan when plan.cp_left > 0 ->
-          let at = plan.cp_at in
-          for p = 0 to Array.length at - 1 do
-            if Sim.steps_of sim p >= Array.unsafe_get at p then begin
-              Sim.crash sim p;
-              Array.unsafe_set at p max_int;
-              plan.cp_left <- plan.cp_left - 1
-            end
+          let evs = plan.cp_events in
+          for p = 0 to Array.length evs - 1 do
+            match Array.unsafe_get evs p with
+            | (c : Crash.t) :: rest when Sim.steps_of sim p >= c.at && not (Sim.is_crashed sim p)
+              ->
+                Sim.crash ?recover_after:c.recover sim p;
+                Array.unsafe_set evs p rest;
+                plan.cp_left <- plan.cp_left - 1
+            | _ -> ()
           done
       | _ -> ());
       let p = fast sim in

@@ -56,7 +56,19 @@ val scripted_then : ?strict:bool -> Sim.pid array -> t -> t
 
 val with_crashes : (Sim.pid * int) list -> t -> t
 (** [with_crashes [(p, k); ...] inner] crashes process [p] as soon as it has
-    taken [k] memory steps, then behaves as [inner]. *)
+    taken [k] memory steps, then behaves as [inner]. Terminal (fail-stop)
+    crashes only — the historic pair encoding; see {!with_crash_events}
+    for crash-recovery events. *)
+
+val with_crash_events : Crash.t list -> t -> t
+(** Generalisation of {!with_crashes} to {!Crash.t} events: an event
+    fires once its victim has taken [at] memory steps, as a terminal
+    crash or (for [recover = Some d], when the victim has a
+    {!Sim.set_recovery} entry point) a crash that re-admits the victim's
+    recovery code after [d] further global steps. Events fire in
+    ascending pid order, at most one per pid per turn; a pid's next
+    event is held back while it is crashed-awaiting-recovery, so
+    multi-crash specs land each crash on a live incarnation. *)
 
 val stop_when : (Sim.t -> bool) -> t -> t
 (** Stop as soon as the predicate holds; otherwise delegate. *)
@@ -97,20 +109,28 @@ val fast_scripted : ?strict:bool -> Sim.pid array -> fast
 (** {2 Crash plans and the flat drive loop} *)
 
 type crash_plan
-(** Preallocated crash-injection state (an [int array] of per-pid step
-    thresholds), reusable across runs via {!arm_crashes} — the
-    allocation-free counterpart of {!with_crashes}. *)
+(** Preallocated crash-injection state (per-pid queues of {!Crash.t}
+    events), reusable across runs via {!arm_crashes} /
+    {!arm_crash_events} — the low-allocation counterpart of
+    {!with_crashes} / {!with_crash_events}. *)
 
 val crash_plan : n:int -> crash_plan
 
 val arm_crashes : crash_plan -> (Sim.pid * int) list -> unit
-(** Load a crash list ([(p, k)]: crash [p] once it has taken [k] steps)
-    into the plan, replacing whatever was armed before. *)
+(** Load a terminal-crash list ([(p, k)]: crash [p] once it has taken
+    [k] steps) into the plan, replacing whatever was armed before. *)
+
+val arm_crash_events : crash_plan -> Crash.t list -> unit
+(** Load {!Crash.t} events (terminal and recovering alike) into the
+    plan, replacing whatever was armed before. Firing semantics are
+    those of {!with_crash_events}. *)
 
 val drive : ?capture:Sim.pid Scs_util.Vec.t -> ?crashes:crash_plan -> Sim.t -> fast -> unit
 (** Flat scheduling loop: semantically identical to
-    [Sim.run sim (with_crashes cs (capture buf (of_fast policy)))] but
-    with the wrapper closures and per-turn allocations compiled away —
-    crashes fire from the plan's int array in ascending pid order,
-    scheduled pids are pushed into [capture] before each step. Raises
-    {!Sim.Livelock} exactly as {!Sim.run} does. *)
+    [Sim.run sim (with_crash_events cs (capture buf (of_fast policy)))]
+    but with the wrapper closures and per-turn allocations compiled away
+    — crash events fire from the plan's per-pid queues in ascending pid
+    order, scheduled pids are pushed into [capture] before each step,
+    and stalled pending recoveries are admitted exactly as {!Sim.run}
+    does ({!Sim.admit_stalled_recovery}). Raises {!Sim.Livelock} exactly
+    as {!Sim.run} does. *)

@@ -69,6 +69,36 @@ let minimize ?(max_rounds = 16) ?max_steps ~n ~setup ~check ~schedule ~crashes (
     !changed
   in
 
+  (* simplify recovery placement without moving the crash itself: a
+     recovering crash whose recovery is not load-bearing becomes a
+     terminal one; otherwise long re-admission delays shrink to 0 so
+     the minimal repro recovers at the earliest legal point *)
+  let pass_recovery () =
+    let changed = ref false in
+    List.iter
+      (fun (c : Crash.t) ->
+        if List.mem c !crs then
+          match c.recover with
+          | None -> ()
+          | Some d ->
+              let attempt c' =
+                let cand =
+                  Crash.canonical
+                    (List.map (fun c0 -> if Crash.equal c0 c then c' else c0) !crs)
+                in
+                if reproduces !sched cand then begin
+                  accept !sched cand;
+                  changed := true;
+                  true
+                end
+                else false
+              in
+              if (not (attempt { c with recover = None })) && d > 0 then
+                ignore (attempt { c with recover = Some 0 }))
+      !crs;
+    !changed
+  in
+
   (* drop entire processes: the strongest single reduction (F-1 at n=4
      typically shrinks to a 3-process core this way) *)
   let pass_processes () =
@@ -77,7 +107,7 @@ let minimize ?(max_rounds = 16) ?max_steps ~n ~setup ~check ~schedule ~crashes (
     List.iter
       (fun p ->
         let s = Array.of_list (List.filter (fun q -> q <> p) (Array.to_list !sched)) in
-        let c = List.filter (fun (q, _) -> q <> p) !crs in
+        let c = List.filter (fun (c : Crash.t) -> c.pid <> p) !crs in
         if Array.length s < Array.length !sched && reproduces s c then begin
           accept s c;
           changed := true
@@ -137,10 +167,11 @@ let minimize ?(max_rounds = 16) ?max_steps ~n ~setup ~check ~schedule ~crashes (
   while !progress && !rounds < max_rounds do
     incr rounds;
     let c1 = pass_crashes () in
+    let c1' = pass_recovery () in
     let c2 = pass_processes () in
     let c3 = pass_chunks () in
     let c4 = Array.length !sched <= 64 && pass_pairs () in
-    progress := c1 || c2 || c3 || c4
+    progress := c1 || c1' || c2 || c3 || c4
   done;
 
   ( (!sched, !crs),

@@ -3,8 +3,12 @@
     Minimizes a failing [(n, schedule, crashes)] triple found by {!Fuzz}
     while preserving the failure. The shrink lattice, coarse to fine:
 
-    + drop each injected crash;
-    + drop every turn of a whole process (and its crashes);
+    + drop each injected crash event;
+    + simplify recovery placement: turn a recovering crash into a
+      terminal one if the recovery is not load-bearing, else shrink its
+      re-admission delay to 0 (the crash position itself never moves, so
+      a repro that needs recover-during-contention keeps it);
+    + drop every turn of a whole process (and its crash events);
     + remove contiguous schedule chunks, ddmin-style, halving chunk
       sizes down to single turns;
     + remove non-adjacent turn {e pairs} (only for schedules ≤ 64 turns
@@ -35,9 +39,9 @@ val minimize :
   setup:(Sim.t -> unit) ->
   check:(Sim.t -> unit) ->
   schedule:int array ->
-  crashes:(Sim.pid * int) list ->
+  crashes:Crash.t list ->
   unit ->
-  (int array * (Sim.pid * int) list) * stats
+  (int array * Crash.t list) * stats
 (** [minimize ~n ~setup ~check ~schedule ~crashes ()] returns the
     minimized triple and shrink statistics. [check] must raise
     {!Fuzz.Violation} on the property violation being preserved.

@@ -45,9 +45,25 @@ type t = {
   obj_resets : (unit -> unit) Vec.t;
       (** one thunk per allocated object, rewinding it to its creation
           value; replayed (up to the snapshot mark) by {!reset} *)
+  volatile_wipes : (unit -> unit) Vec.t;
+      (** one thunk per volatile object, rewinding it to its creation
+          value; replayed by every {!crash} (the crash-recovery model's
+          cache wipe: any crash loses all volatile contents) *)
+  recov_code : (unit -> unit) option array;
+      (** recovery entry points installed by {!set_recovery}; a crashed
+          process with one can be re-admitted as a fresh fiber running
+          this code *)
+  recover_at : int array;
+      (** global clock value at which a crashed process is due for
+          re-admission; [-1] when no recovery is pending for the pid *)
+  mutable pending_recov : int;
+      (** number of pids with [recover_at >= 0]; guards the per-step
+          admission scan so fail-stop runs pay one load per step *)
+  recoveries : int array;  (** per-pid count of re-admissions this run *)
   mutable snap_objs : int;
   mutable snap_rmws : int;
   mutable snap_resets : int;
+  mutable snap_wipes : int;
   mutable snapped : bool;
   mutable record_trace : bool;
   trace : Mem_event.t Vec.t;
@@ -90,9 +106,15 @@ let create ?(max_steps = 1_000_000) ?(obs = Scs_obs.Obs.null) ~n () =
     next_obj = 1;
     rmw_objs = 0;
     obj_resets = Vec.create ();
+    volatile_wipes = Vec.create ();
+    recov_code = Array.make n None;
+    recover_at = Array.make n (-1);
+    pending_recov = 0;
+    recoveries = Array.make n 0;
     snap_objs = 1;
     snap_rmws = 0;
     snap_resets = 0;
+    snap_wipes = 0;
     snapped = false;
     record_trace = false;
     trace = Vec.create ();
@@ -117,9 +139,10 @@ let fresh_obj t =
 
 type 'a reg = { mutable rv : 'a; r_id : int; r_name : string }
 
-let reg t ~name v =
+let reg t ?(volatile = false) ~name v =
   let r = { rv = v; r_id = fresh_obj t; r_name = name } in
   Vec.push t.obj_resets (fun () -> r.rv <- v);
+  if volatile then Vec.push t.volatile_wipes (fun () -> r.rv <- v);
   r
 
 let read r =
@@ -269,10 +292,11 @@ let pause t =
 (* Custom backend objects                                              *)
 (* ------------------------------------------------------------------ *)
 
-let custom_obj t ?(rmw = false) ~reset () =
+let custom_obj t ?(rmw = false) ?wipe ~reset () =
   if rmw then t.rmw_objs <- t.rmw_objs + 1;
   let id = fresh_obj t in
   Vec.push t.obj_resets reset;
+  (match wipe with None -> () | Some w -> Vec.push t.volatile_wipes w);
   id
 
 let custom_op ~obj ~obj_name ~kind ~info run =
@@ -397,11 +421,61 @@ let nth_runnable t k =
   !pid
 
 let finished t pid = match t.status.(pid) with Done | Crashed -> true | _ -> false
+let is_crashed t pid = match t.status.(pid) with Crashed -> true | _ -> false
 let all_done t = t.runnable_bits = 0
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let set_recovery t pid f =
+  if pid < 0 || pid >= t.n then invalid_arg "Sim.set_recovery: pid out of range";
+  t.recov_code.(pid) <- Some f
+
+let has_recovery t pid = t.recov_code.(pid) <> None
+let recovery_due t pid = if t.recover_at.(pid) < 0 then None else Some t.recover_at.(pid)
+let pending_recoveries t = t.pending_recov
+
+(* Re-admit a crashed process: its recovery code runs on a fresh fiber.
+   Unlike spawned bodies, recovery fibers never park at [End_run] — a
+   parked recovery continuation would replay recovery (not the spawn
+   body) after {!reset}, so they finish through [retc] and {!reset}
+   re-arms the process from its remembered spawn code as usual. *)
+let admit_recovery t pid =
+  match t.recov_code.(pid) with
+  | None -> assert false
+  | Some f ->
+      t.recover_at.(pid) <- -1;
+      t.pending_recov <- t.pending_recov - 1;
+      t.recoveries.(pid) <- t.recoveries.(pid) + 1;
+      t.status.(pid) <- Ready f;
+      t.runnable_bits <- t.runnable_bits lor (1 lsl pid);
+      if t.obs_on then Scs_obs.Obs.recover t.obs ~pid
+
+let admit_due_recoveries t =
+  for pid = 0 to t.n - 1 do
+    if t.recover_at.(pid) >= 0 && t.recover_at.(pid) <= t.clock then admit_recovery t pid
+  done
+
+let admit_stalled_recovery t =
+  if t.runnable_bits <> 0 || t.pending_recov = 0 then false
+  else begin
+    (* Nothing can advance the clock, so waiting out the remaining delay
+       is meaningless: admit the earliest-due pending recovery (ties
+       broken towards the smallest pid) without advancing the clock. *)
+    let best = ref (-1) in
+    for pid = t.n - 1 downto 0 do
+      if t.recover_at.(pid) >= 0 && (!best < 0 || t.recover_at.(pid) <= t.recover_at.(!best)) then
+        best := pid
+    done;
+    admit_recovery t !best;
+    true
+  end
 
 let account t pid (kind : Op.kind) =
   t.clock <- t.clock + 1;
   t.steps.(pid) <- t.steps.(pid) + 1;
+  if t.pending_recov > 0 then admit_due_recoveries t;
   match kind with
   | Op.Read ->
       if t.dirty_write.(pid) then begin
@@ -459,14 +533,23 @@ let step t pid =
       Effect.Deep.continue k result;
       t.cur_pid <- -1
 
-let crash t pid =
+let crash ?recover_after t pid =
   match t.status.(pid) with
   | Idle | Done | Crashed -> ()
   | Ready _ | Parked _ | Blocked _ ->
       (* The pending continuation is abandoned: the process takes no more
-         steps, exactly as a crash failure in the model. *)
+         steps, exactly as a crash failure in the model. Every crash
+         additionally wipes all volatile objects (the model's shared
+         cache loses power with the process); with no volatile objects
+         allocated this is free, so fail-stop workloads are unchanged. *)
       t.status.(pid) <- Crashed;
       t.runnable_bits <- t.runnable_bits land lnot (1 lsl pid);
+      Vec.iter (fun w -> w ()) t.volatile_wipes;
+      (match recover_after with
+      | Some d when t.recov_code.(pid) <> None ->
+          if t.recover_at.(pid) < 0 then t.pending_recov <- t.pending_recov + 1;
+          t.recover_at.(pid) <- t.clock + max 0 d
+      | _ -> ());
       if t.obs_on then Scs_obs.Obs.crash t.obs ~pid
 
 type decision = Sched of pid | Stop
@@ -475,6 +558,7 @@ let run t policy =
   let rec loop () =
     if t.clock > t.max_steps then
       raise (Livelock (Printf.sprintf "step budget %d exhausted at clock %d" t.max_steps t.clock));
+    if t.runnable_bits = 0 then ignore (admit_stalled_recovery t);
     if not (all_done t) then begin
       match policy t with
       | Stop -> ()
@@ -489,6 +573,7 @@ let run_fast t policy =
   let rec loop () =
     if t.clock > t.max_steps then
       raise (Livelock (Printf.sprintf "step budget %d exhausted at clock %d" t.max_steps t.clock));
+    if t.runnable_bits = 0 then ignore (admit_stalled_recovery t);
     if t.runnable_bits <> 0 then begin
       let pid = policy t in
       if pid >= 0 then begin
@@ -514,6 +599,7 @@ let snapshot t =
   t.snap_objs <- t.next_obj;
   t.snap_rmws <- t.rmw_objs;
   t.snap_resets <- Vec.length t.obj_resets;
+  t.snap_wipes <- Vec.length t.volatile_wipes;
   t.snapped <- true
 
 let reset t =
@@ -524,6 +610,7 @@ let reset t =
     (Vec.get t.obj_resets i) ()
   done;
   Vec.truncate t.obj_resets t.snap_resets;
+  Vec.truncate t.volatile_wipes t.snap_wipes;
   t.next_obj <- t.snap_objs;
   t.rmw_objs <- t.snap_rmws;
   (* Re-arm the fibers: a process that completed its last run parked its
@@ -554,6 +641,11 @@ let reset t =
   Array.fill t.rmws 0 t.n 0;
   Array.fill t.raw_fences 0 t.n 0;
   Array.fill t.dirty_write 0 t.n false;
+  (* Recovery entry points survive (they were installed by [setup], like
+     spawn code); pending re-admissions and counters do not. *)
+  Array.fill t.recover_at 0 t.n (-1);
+  Array.fill t.recoveries 0 t.n 0;
+  t.pending_recov <- 0;
   Vec.clear t.trace
 
 let clear t =
@@ -570,9 +662,15 @@ let clear t =
   t.next_obj <- 1;
   t.rmw_objs <- 0;
   Vec.clear t.obj_resets;
+  Vec.clear t.volatile_wipes;
+  Array.fill t.recov_code 0 t.n None;
+  Array.fill t.recover_at 0 t.n (-1);
+  Array.fill t.recoveries 0 t.n 0;
+  t.pending_recov <- 0;
   t.snap_objs <- 1;
   t.snap_rmws <- 0;
   t.snap_resets <- 0;
+  t.snap_wipes <- 0;
   t.snapped <- false;
   Vec.clear t.trace
 
@@ -582,6 +680,9 @@ let clear t =
 
 let steps_of t pid = t.steps.(pid)
 let total_steps t = Array.fold_left ( + ) 0 t.steps
+let recoveries_of t pid = t.recoveries.(pid)
+let total_recoveries t = Array.fold_left ( + ) 0 t.recoveries
+let volatile_objects_allocated t = Vec.length t.volatile_wipes
 let rmws_of t pid = t.rmws.(pid)
 let raw_fences_of t pid = t.raw_fences.(pid)
 let total_rmws t = Array.fold_left ( + ) 0 t.rmws

@@ -52,7 +52,14 @@ type tas_obj
 type 'a cas_obj
 type fai_obj
 
-val reg : t -> name:string -> 'a -> 'a reg
+val reg : t -> ?volatile:bool -> name:string -> 'a -> 'a reg
+(** [volatile] (default [false]) opts the register into the
+    crash-recovery model's volatile tier: {e any} crash ({!crash} of any
+    pid) rewinds its contents to the creation value, modelling state
+    that lives in a cache or DRAM rather than persistent memory. The
+    default (durable) tier is untouched by crashes — exactly the
+    historic fail-stop behaviour. See [docs/recovery.md]. *)
+
 val read : 'a reg -> 'a
 val write : 'a reg -> 'a -> unit
 
@@ -101,11 +108,14 @@ val pause : t -> unit
     state private to the running process), and two [Read]-kind
     operations on the same object by different processes must commute. *)
 
-val custom_obj : t -> ?rmw:bool -> reset:(unit -> unit) -> unit -> int
+val custom_obj : t -> ?rmw:bool -> ?wipe:(unit -> unit) -> reset:(unit -> unit) -> unit -> int
 (** Allocate a fresh object id. [reset] must rewind the backing state to
     its creation value; it is replayed by {!reset} like any built-in
     object's thunk. [rmw] (default false) counts the object in the
-    consensus-power census ({!rmw_objects_allocated}). *)
+    consensus-power census ({!rmw_objects_allocated}). [wipe], if
+    given, marks the object volatile: the thunk is run by every
+    {!crash}, and must rewind the backing state to whatever the model
+    says a power loss leaves behind (usually the creation value). *)
 
 val custom_op : obj:int -> obj_name:string -> kind:Op.kind -> info:string -> (unit -> 'r) -> 'r
 (** Perform one scheduled memory operation: blocks the calling fiber
@@ -141,6 +151,10 @@ val nth_runnable : t -> int -> pid
 
 val is_runnable : t -> pid -> bool
 val finished : t -> pid -> bool
+
+val is_crashed : t -> pid -> bool
+(** Currently crashed (terminally, or awaiting re-admission). *)
+
 val all_done : t -> bool
 
 (** {1 Step footprints}
@@ -177,9 +191,44 @@ val step : t -> pid -> unit
     (if any) and run it up to its next operation or completion. The first
     turn of a fresh process only advances it to its first operation. *)
 
-val crash : t -> pid -> unit
-(** Permanently stop [pid]; it takes no further steps. Models a crash
-    failure. *)
+val crash : ?recover_after:int -> t -> pid -> unit
+(** Crash [pid]: its current fiber is abandoned and every volatile
+    object is wiped to its creation value. Without [recover_after] (or
+    when no recovery entry point is installed for [pid]) the crash is
+    terminal — the process takes no further steps, the historic
+    fail-stop model. With [recover_after:d] and a {!set_recovery} entry
+    point, the process is re-admitted once the global clock has
+    advanced [d] further memory steps: its recovery code starts on a
+    fresh fiber (the abandoned continuation is never resumed). Crashing
+    a process that is [Idle], finished or already crashed is a no-op
+    (in particular, a crashed-awaiting-recovery process cannot be
+    crashed again until it has been re-admitted). *)
+
+val set_recovery : t -> pid -> (unit -> unit) -> unit
+(** Install the recovery entry point of [pid], enabling crash-recovery
+    for it. The code must be {e idempotent} in the algorithm's sense: it
+    can run after a crash at any point of the process's execution,
+    including part-way through a previous recovery. Installing again
+    replaces the previous entry point; entry points survive {!reset}
+    (like spawn code) and are forgotten by {!clear}. *)
+
+val has_recovery : t -> pid -> bool
+
+val recovery_due : t -> pid -> int option
+(** [Some c]: [pid] is crashed and will be re-admitted once {!clock}
+    reaches [c]. [None]: no recovery pending. *)
+
+val pending_recoveries : t -> int
+(** Number of crashed processes currently awaiting re-admission. *)
+
+val admit_stalled_recovery : t -> bool
+(** If no process is runnable but recoveries are pending, re-admit the
+    earliest-due one (ties towards the smallest pid) immediately,
+    without advancing the clock — the delay cannot elapse once nothing
+    can advance the clock, so waiting it out is meaningless. Returns
+    [true] iff a process was admitted. {!run} and {!run_fast} call this
+    themselves; external drivers with their own scheduling loops (e.g.
+    {!Policy.drive}) must call it wherever they test {!all_done}. *)
 
 type decision = Sched of pid | Stop
 
@@ -246,6 +295,13 @@ val objects_allocated : t -> int
 
 val rmw_objects_allocated : t -> int
 (** Number of RMW-capable base objects created: consensus-power census. *)
+
+val recoveries_of : t -> pid -> int
+val total_recoveries : t -> int
+(** Re-admissions after a crash, this run (zeroed by {!reset}/{!clear}). *)
+
+val volatile_objects_allocated : t -> int
+(** Number of objects in the volatile tier (wiped by every crash). *)
 
 val reset_counters : t -> unit
 (** Zero step/fence/RMW counters (object census is preserved). Used to

@@ -286,6 +286,164 @@ let consensus_chain =
         { setup; check });
   }
 
+(* ---- recoverable consensus -------------------------------------------- *)
+
+(* Crash-recovery workloads: one abortable-consensus proposal per
+   process, with [Sim.set_recovery] installed so that a crash-recover
+   fuzz policy re-admits the crashed process into the algorithm's
+   recovery procedure. The trace records the recovery as a re-invocation
+   of the in-flight request ([Trace.recover]), and the check starts from
+   trace well-formedness under that model.
+
+   The check deliberately does NOT linearize the proposals against a
+   consensus spec: an aborted (or pending) proposal may still have taken
+   effect inside the instance — that is the whole point of abortable
+   objects — so a naive spec check yields false violations. The sound
+   properties are agreement, validity and switch coherence: every
+   decision value that escapes (committed or carried out by an abort)
+   is one of the proposals, and they all agree. *)
+
+type recov_trace = (int, int option, int option) Trace.t
+
+type recov_state = {
+  rc_tr : recov_trace;
+  rc_outcomes : (int option, int option) Outcome.t option array;
+  rc_inflight : int Request.t option array;
+}
+
+let recoverable_setup ~n ~prims ~algo slot sim =
+  let module P = (val prims sim : Scs_prims.Prims_intf.S) in
+  let propose, recover = algo (module P : Scs_prims.Prims_intf.S) in
+  let tr : recov_trace = Trace.create ~clock:(fun () -> Sim.clock sim) () in
+  let st =
+    {
+      rc_tr = tr;
+      rc_outcomes = Array.make n None;
+      rc_inflight = Array.make n None;
+    }
+  in
+  slot := Some st;
+  let record pid req outcome =
+    st.rc_inflight.(pid) <- None;
+    st.rc_outcomes.(pid) <- Some outcome;
+    match outcome with
+    | Outcome.Commit d -> Trace.commit tr ~pid req d
+    | Outcome.Abort w -> Trace.abort tr ~pid req w
+  in
+  for pid = 0 to n - 1 do
+    (* The recovery entry point: re-enter the in-flight operation (a
+       re-invocation, not a fresh one). [recover] returning [None] means
+       the crash hit before the durable write-ahead phase or after the
+       response escaped durable state — the operation stays pending. A
+       crash *of the recovery itself* re-runs this closure; the
+       algorithms' recovery procedures are idempotent. *)
+    Sim.set_recovery sim pid (fun () ->
+        match st.rc_inflight.(pid) with
+        | None -> ()
+        | Some req -> (
+            Trace.recover tr ~pid req;
+            match recover ~pid with
+            | None -> ()
+            | Some outcome -> record pid req outcome));
+    Sim.spawn sim pid (fun () ->
+        let req = Request.make pid (100 + pid) in
+        Trace.invoke tr ~pid req;
+        st.rc_inflight.(pid) <- Some req;
+        record pid req (propose ~pid (Some (100 + pid))))
+  done
+
+let recoverable_check ~what ~n slot _sim =
+  let st = get slot in
+  let evs = Trace.events st.rc_tr in
+  (* re-invocation-aware well-formedness: every Recover falls strictly
+     inside its request's operation interval *)
+  let ops =
+    match Trace.operations evs with
+    | ops -> ops
+    | exception Invalid_argument msg -> violation "%s: malformed trace: %s" what msg
+  in
+  (* every value that escapes the instance, whether committed or carried
+     out as an abort's switch value *)
+  let escaped =
+    List.filter_map
+      (fun (o : _ Trace.operation) ->
+        match o.Trace.outcome with
+        | Trace.Committed { resp = Some d; _ } -> Some d
+        | Trace.Aborted { switch = Some d; _ } -> Some d
+        | _ -> None)
+      ops
+  in
+  (match escaped with
+  | [] -> ()
+  | d :: rest ->
+      if not (List.for_all (fun x -> x = d) rest) then
+        violation "%s: agreement violated: decision values disagree" what);
+  List.iter
+    (fun d -> if d < 100 || d >= 100 + n then violation "%s: invalid decision %d" what d)
+    escaped;
+  (* a committed proposal must never be left marked in flight *)
+  Array.iteri
+    (fun pid -> function
+      | Some _ when st.rc_inflight.(pid) <> None ->
+          violation "%s: pid %d responded but still marked in flight" what pid
+      | _ -> ())
+    st.rc_outcomes
+
+let recoverable_split =
+  {
+    name = "recoverable-split";
+    describe = "recoverable SplitConsensus under crash-recovery: agreement + validity";
+    default_n = 3;
+    expect_failures = false;
+    instantiate =
+      (fun ?(backend = Scs_prims.Backend.default) ~n () ->
+        let s = slot () in
+        let algo (module P : Scs_prims.Prims_intf.S) =
+          let module RS = Scs_consensus.Recoverable_split.Make (P) in
+          let rs = RS.create ~name:"rsplit" ~n () in
+          ((fun ~pid v -> RS.propose rs ~pid v), fun ~pid -> RS.recover rs ~pid)
+        in
+        {
+          setup = recoverable_setup ~n ~prims:(prims_of backend) ~algo s;
+          check = recoverable_check ~what:"recoverable-split" ~n s;
+        });
+  }
+
+let recoverable_bakery_named name ~volatile_announce ~describe ~expect_failures =
+  {
+    name;
+    describe;
+    default_n = 3;
+    expect_failures;
+    instantiate =
+      (fun ?(backend = Scs_prims.Backend.default) ~n () ->
+        let s = slot () in
+        let algo (module P : Scs_prims.Prims_intf.S) =
+          let module RB = Scs_consensus.Recoverable_bakery.Make (P) in
+          let rb = RB.create ~name:"rbakery" ~volatile_announce ~n () in
+          ((fun ~pid v -> RB.propose rb ~pid v), fun ~pid -> RB.recover rb ~pid)
+        in
+        {
+          setup = recoverable_setup ~n ~prims:(prims_of backend) ~algo s;
+          check = recoverable_check ~what:name ~n s;
+        });
+  }
+
+let recoverable_bakery =
+  recoverable_bakery_named "recoverable-bakery" ~volatile_announce:false
+    ~describe:"recoverable AbortableBakery under crash-recovery: agreement + validity"
+    ~expect_failures:false
+
+(* The instructive unsound variant: volatile announcement arrays. A
+   crash wipes every in-flight (Ai) entry, after which two survivors can
+   both pass their clean checks against an empty array and commit
+   different values — finding F-5, pinned in test/test_recovery.ml. *)
+let recoverable_bakery_volatile =
+  recoverable_bakery_named "recoverable-bakery-volatile" ~volatile_announce:true
+    ~describe:
+      "bakery with volatile announcements (known failing under crashes, finding F-5)"
+    ~expect_failures:true
+
 (* ---- long-lived TAS --------------------------------------------------- *)
 
 (* The paper's Section 6 long-lived TAS (strict per-round variant): each
@@ -453,6 +611,9 @@ let all =
     tas_long_lived;
     splitter;
     consensus_chain;
+    recoverable_split;
+    recoverable_bakery;
+    recoverable_bakery_volatile;
     queue;
   ]
 

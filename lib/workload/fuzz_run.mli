@@ -53,6 +53,24 @@ val splitter : t
 val consensus_chain : t
 val queue : t
 
+val recoverable_split : t
+(** Recoverable SplitConsensus under the crash-recovery model: every
+    process runs one proposal with a {!Scs_sim.Sim.set_recovery} entry
+    point installed, recoveries are recorded as {!Scs_history.Trace}
+    re-invocations, and the check enforces re-invocation trace
+    well-formedness, agreement, validity and switch coherence. Clean
+    under every policy, including crash-recover ones. *)
+
+val recoverable_bakery : t
+(** Recoverable AbortableBakery, same harness and check. Clean. *)
+
+val recoverable_bakery_volatile : t
+(** The deliberately unsound bakery variant with {e volatile}
+    announcement arrays ([expect_failures = true]): a crash wipes all
+    in-flight announcements, letting survivors commit different values
+    (finding F-5). The instructive counterpart that shows the
+    durability assignment of {!recoverable_bakery} is load-bearing. *)
+
 val all : t list
 val find : string -> t option
 val names : unit -> string list
@@ -99,7 +117,7 @@ val replay :
   t ->
   n:int ->
   schedule:int array ->
-  crashes:(int * int) list ->
+  crashes:Crash.t list ->
   replay_outcome
 (** Strict scripted replay of a recorded triple, judged by the
     workload's check, on the backend the triple was recorded on. *)
@@ -111,6 +129,6 @@ val shrink :
   t ->
   n:int ->
   schedule:int array ->
-  crashes:(int * int) list ->
-  (int array * (int * int) list) * Shrink.stats
+  crashes:Crash.t list ->
+  (int array * Crash.t list) * Shrink.stats
 (** {!Shrink.minimize} on a fresh instance of the workload. *)

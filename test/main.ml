@@ -28,4 +28,5 @@ let () =
       ("composition", Test_composition.tests);
       ("obs", Test_obs.tests);
       ("pool", Test_pool.tests);
+      ("recovery", Test_recovery.tests);
     ]

@@ -13,7 +13,7 @@
 open Scs_sim
 open Scs_workload
 
-let uniform = [ { Fuzz.kind = Fuzz.Uniform; crash_faults = false } ]
+let uniform = [ { Fuzz.kind = Fuzz.Uniform; crash_faults = false; crash_recover = false } ]
 
 let fuzz_one w ~n =
   let report = Fuzz_run.fuzz ~policies:uniform ~runs:100_000 ~max_violations:1 ~seed:7 w ~n in
@@ -203,7 +203,7 @@ let test_check_domains_equivalent () =
 let test_crash_variant_finds_f1 () =
   (* crash-injecting portfolio member also rediscovers F-1, and its
      (schedule, crashes) pair replays deterministically *)
-  let policies = [ { Fuzz.kind = Fuzz.Uniform; crash_faults = true } ] in
+  let policies = [ { Fuzz.kind = Fuzz.Uniform; crash_faults = true; crash_recover = false } ] in
   let report =
     Fuzz_run.fuzz ~policies ~runs:100_000 ~max_violations:1 ~seed:7 Fuzz_run.f1 ~n:3
   in
@@ -223,7 +223,9 @@ let test_chain_bakery_dec_regression () =
      real decision, so the chain's leave-probe missed it and a later
      process decided its own value. sticky(0.25), seed 11, disagreement
      at run 65 before the fix. *)
-  let policies = [ { Fuzz.kind = Fuzz.Sticky 0.25; crash_faults = false } ] in
+  let policies =
+    [ { Fuzz.kind = Fuzz.Sticky 0.25; crash_faults = false; crash_recover = false } ]
+  in
   let report =
     Fuzz_run.fuzz ~policies ~runs:2000 ~seed:11 Fuzz_run.consensus_chain ~n:3
   in
@@ -268,7 +270,8 @@ let test_repro_crashes_field () =
       seed = 99;
       policy = "uniform+crash";
       error = "some failure with spaces";
-      crashes = [ (0, 3); (2, 11) ];
+      crashes =
+        [ Crash.terminal ~pid:0 ~at:3; Crash.recovering ~pid:2 ~at:11 ~after:4 ];
       schedule = [| 0; 1; 2; 3; 0 |];
     }
   in

@@ -15,6 +15,7 @@ let comp ~pid ~id ~inv ~res resp =
     invoke_seq = inv;
     invoke_ts = inv;
     op_init = None;
+    op_recoveries = 0;
     outcome = Trace.Committed { resp; resp_seq = res; resp_ts = res };
   }
 
@@ -25,6 +26,7 @@ let pend ~pid ~id ~inv =
     invoke_seq = inv;
     invoke_ts = inv;
     op_init = None;
+    op_recoveries = 0;
     outcome = Trace.Pending;
   }
 
@@ -89,6 +91,7 @@ let test_lin_queue () =
       invoke_seq = inv;
       invoke_ts = inv;
       op_init = None;
+      op_recoveries = 0;
       outcome = Trace.Committed { resp; resp_seq = res; resp_ts = res };
     }
   in
@@ -121,6 +124,7 @@ let test_lin_register () =
       invoke_seq = inv;
       invoke_ts = inv;
       op_init = None;
+      op_recoveries = 0;
       outcome = Trace.Committed { resp; resp_seq = res; resp_ts = res };
     }
   in
@@ -398,6 +402,7 @@ let mkop ~id ~inv ~res req resp =
     invoke_seq = inv;
     invoke_ts = inv;
     op_init = None;
+    op_recoveries = 0;
     outcome = Trace.Committed { resp; resp_seq = res; resp_ts = res };
   }
 
@@ -408,6 +413,7 @@ let mkpend ~id ~inv req =
     invoke_seq = inv;
     invoke_ts = inv;
     op_init = None;
+    op_recoveries = 0;
     outcome = Trace.Pending;
   }
 
@@ -418,6 +424,7 @@ let mkabort ~id ~inv ~res req =
     invoke_seq = inv;
     invoke_ts = inv;
     op_init = None;
+    op_recoveries = 0;
     outcome = Trace.Aborted { switch = (); resp_seq = res; resp_ts = res };
   }
 

@@ -29,6 +29,7 @@ let mkop ~id ~inv ~res req resp =
     invoke_seq = inv;
     invoke_ts = inv;
     op_init = None;
+    op_recoveries = 0;
     outcome = Trace.Committed { resp; resp_seq = res; resp_ts = res };
   }
 
@@ -39,6 +40,7 @@ let mkpend ~id ~inv req =
     invoke_seq = inv;
     invoke_ts = inv;
     op_init = None;
+    op_recoveries = 0;
     outcome = Trace.Pending;
   }
 
@@ -49,6 +51,7 @@ let mkabort ~id ~inv ~res req =
     invoke_seq = inv;
     invoke_ts = inv;
     op_init = None;
+    op_recoveries = 0;
     outcome = Trace.Aborted { switch = (); resp_seq = res; resp_ts = res };
   }
 

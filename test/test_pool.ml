@@ -20,7 +20,8 @@ let check_viol_eq label (a : Fuzz.violation) (b : Fuzz.violation) =
   Alcotest.(check string) (label ^ " policy") a.Fuzz.v_policy b.Fuzz.v_policy;
   Alcotest.(check int) (label ^ " seed") a.v_seed b.v_seed;
   Alcotest.(check (array int)) (label ^ " schedule") a.v_schedule b.v_schedule;
-  Alcotest.(check (list (pair int int))) (label ^ " crashes") a.v_crashes b.v_crashes;
+  Alcotest.(check (list (testable Crash.pp Crash.equal)))
+    (label ^ " crashes") a.v_crashes b.v_crashes;
   Alcotest.(check string) (label ^ " error") a.v_error b.v_error
 
 let check_stats_eq label (a : Fuzz.policy_stats) (b : Fuzz.policy_stats) =

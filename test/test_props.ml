@@ -192,6 +192,7 @@ let prop_sequential_traces_linearizable =
               invoke_seq = inv;
               invoke_ts = inv;
               op_init = None;
+              op_recoveries = 0;
               outcome = Trace.Committed { resp; resp_seq = next (); resp_ts = !seq };
             })
           choices

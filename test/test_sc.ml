@@ -27,6 +27,7 @@ let mkop ~pid ~id ~inv ~res req resp =
     invoke_seq = inv;
     invoke_ts = inv;
     op_init = None;
+    op_recoveries = 0;
     outcome = Trace.Committed { resp; resp_seq = res; resp_ts = res };
   }
 
@@ -37,6 +38,7 @@ let mkpend ~pid ~id ~inv req =
     invoke_seq = inv;
     invoke_ts = inv;
     op_init = None;
+    op_recoveries = 0;
     outcome = Trace.Pending;
   }
 
