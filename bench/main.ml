@@ -89,6 +89,23 @@ let bench_lin_scalable () =
   Staged.stage (fun () ->
       assert (Scs_history.Linearize.check_operations Scs_spec.Objects.queue ops))
 
+(* The zipfian CDF at a realistic keyspace: a cold build pays one [**]
+   per key; the shared table (what every sharded-uc driver instance and
+   domain now reuses) amortises it to a hashtable hit. *)
+let zipf_keys = 1_000_000
+
+let bench_zipf_cdf_cold () =
+  let module Mx = Scs_load.Mix in
+  Staged.stage (fun () ->
+      ignore (Mx.make_cold ~read_ratio:0.5 ~keys:zipf_keys ~skew:(Mx.Zipfian 0.99)))
+
+let bench_zipf_cdf_shared () =
+  let module Mx = Scs_load.Mix in
+  (* warm the cache outside the measured closure *)
+  ignore (Mx.zipf_cdf ~keys:zipf_keys ~theta:0.99);
+  Staged.stage (fun () ->
+      ignore (Mx.make ~read_ratio:0.5 ~keys:zipf_keys ~skew:(Mx.Zipfian 0.99)))
+
 let tests () =
   Test.make_grouped ~name:"native"
     [
@@ -103,6 +120,8 @@ let tests () =
       Test.make ~name:"T3 split-consensus solo decide (incl. alloc)" (bench_split_consensus ());
       Test.make ~name:"T12 lin-check 40-op queue (seed bitmask)" (bench_lin_ref ());
       Test.make ~name:"T12 lin-check 40-op queue (scalable)" (bench_lin_scalable ());
+      Test.make ~name:"S1 zipf cdf 1e6 keys (cold build)" (bench_zipf_cdf_cold ());
+      Test.make ~name:"S1 zipf cdf 1e6 keys (shared table)" (bench_zipf_cdf_shared ());
     ]
 
 let run_microbenches () =

@@ -627,6 +627,58 @@ let stats_cmd =
                 (fun (name, steps, rmws) ->
                   [ name; string_of_int steps; string_of_int rmws ])
                 a.Obs_run.objects));
+    (match (target, List.rev aggs) with
+    | Obs_run.Shard, a :: _ ->
+        (* group the batch's ops by owning-shard label: the per-shard
+           step/contention/abort profiles, and their op-count imbalance *)
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun (m : Scs_obs.Obs.op_metric) ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt tbl m.Scs_obs.Obs.om_label) in
+            Hashtbl.replace tbl m.Scs_obs.Obs.om_label (m :: prev))
+          a.Obs_run.ops;
+        let labels = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []) in
+        let counts = List.map (fun l -> List.length (Hashtbl.find tbl l)) labels in
+        let rows =
+          List.map
+            (fun l ->
+              let ms = Hashtbl.find tbl l in
+              let steps =
+                Scs_util.Stats.summarize_ints
+                  (Array.of_list (List.map (fun m -> m.Scs_obs.Obs.om_steps) ms))
+              in
+              let maxc =
+                List.fold_left
+                  (fun acc m -> max acc m.Scs_obs.Obs.om_step_contention)
+                  0 ms
+              in
+              let aborted =
+                List.length (List.filter (fun m -> m.Scs_obs.Obs.om_aborted) ms)
+              in
+              [
+                l;
+                string_of_int (List.length ms);
+                Printf.sprintf "%.1f" steps.Scs_util.Stats.median;
+                Printf.sprintf "%.1f" steps.Scs_util.Stats.p99;
+                string_of_int maxc;
+                string_of_int aborted;
+              ])
+            labels
+        in
+        print_newline ();
+        Scs_util.Table.print
+          ~title:(Printf.sprintf "per-shard profiles (n=%d, %d runs)" a.Obs_run.n a.Obs_run.runs)
+          ~header:[ "shard"; "ops"; "p50 steps"; "p99 steps"; "max stepC"; "aborted" ]
+          rows;
+        let mx = List.fold_left max 0 counts
+        and mean =
+          float_of_int (List.fold_left ( + ) 0 counts)
+          /. float_of_int (max 1 (List.length counts))
+        in
+        if List.length counts > 1 then
+          Printf.printf "cross-shard imbalance (max/mean ops): %.2f\n"
+            (float_of_int mx /. max 1.0 mean)
+    | _ -> ());
     match json with
     | None -> ()
     | Some path ->
@@ -680,8 +732,9 @@ let load_cmd =
       & info [ "workload" ] ~docv:"NAME"
           ~doc:
             "Workload: a single name ($(b,speculative), $(b,strict-tas), $(b,solo-fast), \
-             $(b,one-shot), $(b,hardware), $(b,ttas-lock), $(b,uc-register), $(b,chain)), a \
-             family ($(b,tas), $(b,uc), $(b,chain)), or $(b,all).")
+             $(b,one-shot), $(b,hardware), $(b,ttas-lock), $(b,uc-register), $(b,chain), \
+             $(b,sharded-uc)), a family ($(b,tas), $(b,uc), $(b,chain), $(b,shard)), or \
+             $(b,all).")
   in
   let domains_arg =
     Arg.(value & opt int 2 & info [ "domains" ] ~docv:"D" ~doc:"OCaml domains driving the loop.")
@@ -730,6 +783,28 @@ let load_cmd =
       value & opt int 4096
       & info [ "rounds" ] ~docv:"R" ~doc:"Long-lived TAS round capacity between recycles.")
   in
+  let shards_arg =
+    Arg.(
+      value & opt (list int) [ 4 ]
+      & info [ "shards" ] ~docv:"S1,S2,..."
+          ~doc:
+            "Shard counts for $(b,sharded-uc): one row per value (e.g. $(b,1,2,4,8) sweeps \
+             the scaling curve). Ignored by other workloads.")
+  in
+  let buckets_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "buckets" ] ~docv:"B"
+          ~doc:"Routing-table buckets for $(b,sharded-uc) (clamped up to the shard count).")
+  in
+  let migrate_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "migrate-every" ] ~docv:"K"
+          ~doc:
+            "sharded-uc: domain 0 delegates a bucket to the next shard every $(docv) of its \
+             own updates (0 disables migration).")
+  in
   let json_arg =
     Arg.(
       value & opt (some string) None
@@ -763,10 +838,10 @@ let load_cmd =
     | L.Solo_fast -> Some (Obs_run.Tas Tas_run.Solo_fast)
     | L.Hardware -> Some (Obs_run.Tas Tas_run.Hardware)
     | L.Chain -> Some (Obs_run.Cons Cons_run.Chain3)
-    | L.Ttas_lock | L.Uc_register -> None
+    | L.Ttas_lock | L.Uc_register | L.Sharded_uc -> None
   in
   let run workload domains sweep duration_s warmup_s mix_name read_ratio keys skew theta
-      rounds seed json run_id compare_sim sim_runs =
+      rounds shards buckets migrate_every seed json run_id compare_sim sim_runs =
     let workloads =
       match workload with
       | "all" -> L.all_workloads
@@ -793,28 +868,49 @@ let load_cmd =
     let skew = match skew with `Uniform -> Mx.Uniform | `Zipfian -> Mx.Zipfian theta in
     let mix = Mx.make ~read_ratio ~keys ~skew in
     let ds = if sweep = [] then [ domains ] else sweep in
+    let shard_counts = if shards = [] then [ 4 ] else shards in
     let host_cores = Domain.recommended_domain_count () in
     let results =
       List.concat_map
         (fun w ->
-          List.map
+          List.concat_map
             (fun d ->
-              let cfg =
-                {
-                  (L.default_cfg ~workload:w ~domains:d) with
-                  L.mix;
-                  rounds;
-                  warmup_s;
-                  duration_s;
-                  seed;
-                }
-              in
-              let r = L.run cfg in
-              Printf.eprintf "  %-12s d=%d  %.0f ops/s\n%!" (L.workload_name w) d
-                r.L.r_ops_per_sec;
-              r)
+              (* sharded-uc sweeps shard counts as extra rows; everyone
+                 else gets a single row per domain count *)
+              let cells = match w with L.Sharded_uc -> shard_counts | _ -> [ 0 ] in
+              List.map
+                (fun sc ->
+                  let cfg =
+                    {
+                      (L.default_cfg ~workload:w ~domains:d) with
+                      L.mix;
+                      rounds;
+                      warmup_s;
+                      duration_s;
+                      seed;
+                      shards = (if sc = 0 then 4 else sc);
+                      buckets;
+                      migrate_every;
+                    }
+                  in
+                  let r = L.run cfg in
+                  Printf.eprintf "  %-12s d=%d%s  %.0f ops/s\n%!" (L.workload_name w) d
+                    (if sc = 0 then "" else Printf.sprintf " s=%d" sc)
+                    r.L.r_ops_per_sec;
+                  r)
+                cells)
             ds)
         workloads
+    in
+    let display (r : L.result) =
+      (* "native:<name>[:sK]:<mix>" -> "<name>[:sK]" *)
+      let lbl = r.L.r_label in
+      let pre = "native:" and suf = ":" ^ Mx.describe mix in
+      if
+        String.length lbl > String.length pre + String.length suf
+        && String.sub lbl 0 (String.length pre) = pre
+      then String.sub lbl (String.length pre) (String.length lbl - String.length pre - String.length suf)
+      else L.workload_name r.L.r_workload
     in
     Scs_util.Table.print
       ~title:
@@ -829,7 +925,7 @@ let load_cmd =
       (List.map
          (fun (r : L.result) ->
            [
-             L.workload_name r.L.r_workload;
+             display r;
              string_of_int r.L.r_domains;
              Printf.sprintf "%.0f" r.L.r_ops_per_sec;
              Printf.sprintf "%.2f" r.L.r_p50_us;
@@ -843,6 +939,31 @@ let load_cmd =
              string_of_int r.L.r_recycles;
            ])
          results);
+    List.iter
+      (fun (r : L.result) ->
+        match r.L.r_extra with
+        | [] -> ()
+        | kvs ->
+            let shard_ops =
+              List.filter_map
+                (fun (k, v) ->
+                  if String.length k >= 6 && String.sub k 0 5 = "shard" then Some v else None)
+                kvs
+            in
+            let imb =
+              match shard_ops with
+              | [] | [ _ ] -> ""
+              | ops ->
+                  let mx = List.fold_left max 0 ops in
+                  let mean =
+                    float_of_int (List.fold_left ( + ) 0 ops) /. float_of_int (List.length ops)
+                  in
+                  Printf.sprintf "  imbalance(max/mean)=%.2f" (float_of_int mx /. max 1.0 mean)
+            in
+            Printf.printf "%s d=%d: %s%s\n" (display r) r.L.r_domains
+              (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) kvs))
+              imb)
+      results;
     if compare_sim then begin
       print_newline ();
       let rows =
@@ -903,8 +1024,9 @@ let load_cmd =
           contention estimators and emitted as bench-trajectory JSON.")
     Term.(
       const run $ workload_arg $ domains_arg $ sweep_arg $ duration_arg $ warmup_arg
-      $ mix_arg $ read_ratio_arg $ keys_arg $ skew_arg $ theta_arg $ rounds_arg $ seed_arg
-      $ json_arg $ run_id_arg $ compare_sim_arg $ sim_runs_arg)
+      $ mix_arg $ read_ratio_arg $ keys_arg $ skew_arg $ theta_arg $ rounds_arg $ shards_arg
+      $ buckets_arg $ migrate_every_arg $ seed_arg $ json_arg $ run_id_arg $ compare_sim_arg
+      $ sim_runs_arg)
 
 (* ---- difffuzz -------------------------------------------------------------- *)
 

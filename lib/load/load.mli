@@ -47,7 +47,10 @@
     lock-protected counter); [Uc_register] is a register built from the
     composed universal construction (split > bakery > cas stages);
     [Chain] proposes on a composed consensus chain, advancing to a
-    fresh instance as each decides. *)
+    fresh instance as each decides; [Sharded_uc] routes keyed
+    operations over [cfg.shards] universal-construction instances
+    through the {!Scs_shard} service (batched via its flat-combining
+    [Batcher], with optional periodic bucket migration). *)
 type workload =
   | Speculative
   | Strict_tas
@@ -57,14 +60,15 @@ type workload =
   | Ttas_lock
   | Uc_register
   | Chain
+  | Sharded_uc
 
 val workload_name : workload -> string
 val workload_of_string : string -> workload option
 val all_workloads : workload list
 
 val workload_families : (string * workload list) list
-(** The three acceptance families: composed TAS variants, the
-    UC-backed object, and the consensus chain. *)
+(** The acceptance families: composed TAS variants, the UC-backed
+    object, the consensus chain, and the sharded service. *)
 
 type cfg = {
   workload : workload;
@@ -74,6 +78,11 @@ type cfg = {
   epoch_ops : int;  (** per-domain updates between arena recycles *)
   uc_capacity : int;  (** universal-construction [max_requests] *)
   chain_capacity : int;  (** consensus instances per chain arena *)
+  shards : int;  (** sharded-uc: universal-construction instances *)
+  buckets : int;  (** sharded-uc: routing-table hash buckets *)
+  migrate_every : int;
+      (** sharded-uc: domain 0 delegates a bucket every this many of
+          its own updates; 0 disables migration *)
   warmup_s : float;
   duration_s : float;
   seed : int;
@@ -103,6 +112,9 @@ type result = {
   r_resets : int;  (** winner resets (long-lived rounds, hardware cycles) *)
   r_recycles : int;  (** quiescent arena recycles *)
   r_abort_rate : float;  (** aborts per update *)
+  r_extra : (string * int) list;
+      (** workload-specific counters (sharded-uc: flat-combining batch
+          counts and per-shard op totals — the imbalance evidence) *)
 }
 
 val run : cfg -> result
@@ -131,6 +143,9 @@ type inst = {
   i_recycle : unit -> unit;
       (** Rebuild/harness-reset the arena; caller must guarantee
           quiescence. *)
+  i_stats : unit -> (string * int) list;
+      (** Workload-specific counters for {!result}[.r_extra]; called
+          once after all domains have joined. *)
 }
 
 val f_win : int

@@ -20,7 +20,41 @@ type t = {
   cdf : float array; (* [||] for uniform *)
 }
 
-let make ~read_ratio ~keys ~skew =
+let build_zipf_cdf ~keys ~theta =
+  let w = Array.init keys (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let acc = ref 0.0 in
+  let c =
+    Array.map
+      (fun x ->
+        acc := !acc +. x;
+        !acc)
+      w
+  in
+  let z = c.(keys - 1) in
+  Array.map (fun x -> x /. z) c
+
+(* The CDF is pure in (keys, theta) and read-only after construction,
+   so every driver instance — and every domain — can share one array.
+   Building it is O(keys) with a [**] per key: at --keys 1e6 that is
+   the dominant driver setup cost (bench/main.ml has the row), and a
+   sweep used to pay it once per row. The mutex only guards the table;
+   the arrays themselves are immutable. *)
+let cdf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+let cdf_lock = Mutex.create ()
+
+let zipf_cdf ~keys ~theta =
+  Mutex.lock cdf_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cdf_lock)
+    (fun () ->
+      match Hashtbl.find_opt cdf_cache (keys, theta) with
+      | Some c -> c
+      | None ->
+          let c = build_zipf_cdf ~keys ~theta in
+          Hashtbl.replace cdf_cache (keys, theta) c;
+          c)
+
+let mk ~share_cdf ~read_ratio ~keys ~skew =
   if keys < 1 then invalid_arg "Mix.make: keys must be >= 1";
   if read_ratio < 0.0 || read_ratio > 1.0 then
     invalid_arg "Mix.make: read_ratio must be in [0,1]";
@@ -28,19 +62,12 @@ let make ~read_ratio ~keys ~skew =
     match skew with
     | Uniform -> [||]
     | Zipfian theta ->
-        let w = Array.init keys (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
-        let acc = ref 0.0 in
-        let c =
-          Array.map
-            (fun x ->
-              acc := !acc +. x;
-              !acc)
-            w
-        in
-        let z = c.(keys - 1) in
-        Array.map (fun x -> x /. z) c
+        if share_cdf then zipf_cdf ~keys ~theta else build_zipf_cdf ~keys ~theta
   in
   { keys; read_ratio; skew; cdf }
+
+let make ~read_ratio ~keys ~skew = mk ~share_cdf:true ~read_ratio ~keys ~skew
+let make_cold ~read_ratio ~keys ~skew = mk ~share_cdf:false ~read_ratio ~keys ~skew
 
 let keys t = t.keys
 let read_ratio t = t.read_ratio

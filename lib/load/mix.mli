@@ -23,7 +23,18 @@ type skew = Uniform | Zipfian of float  (** θ; YCSB default 0.99 *)
 type t
 
 val make : read_ratio:float -> keys:int -> skew:skew -> t
-(** [read_ratio] in [0,1]; [keys] >= 1. *)
+(** [read_ratio] in [0,1]; [keys] >= 1. Zipfian mixes reuse one
+    process-wide immutable CDF array per (keys, θ) — the table is pure
+    and read-only, so driver instances and domains share it instead of
+    each paying the O(keys) [**] build. *)
+
+val make_cold : read_ratio:float -> keys:int -> skew:skew -> t
+(** [make] with a private CDF rebuild, bypassing the shared cache —
+    the bench's cold row measures exactly the saved work. *)
+
+val zipf_cdf : keys:int -> theta:float -> float array
+(** The shared CDF (built on first use, then cached). Treat as
+    read-only. *)
 
 val keys : t -> int
 val read_ratio : t -> float

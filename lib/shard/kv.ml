@@ -1,0 +1,73 @@
+open Scs_spec
+
+type req = Get of int | Put of int * int | Freeze of int | Install of int * (int * int) list
+type resp = Value of int | Ack | Refused | Sealed of (int * int) list
+
+(* Both lists sorted by key/bucket: states reached by the same request
+   sequence are structurally equal, which is what the checker's hashed
+   state memo needs. *)
+type state = { vals : (int * int) list; frozen : int list }
+
+let bucket_of_key ~buckets key =
+  if buckets < 1 then invalid_arg "Kv.bucket_of_key: buckets must be >= 1";
+  (* Fibonacci-style multiplicative mix so adjacent keys spread out. *)
+  let h = key * 0x9E3779B1 in
+  let h = h lxor (h lsr 17) in
+  (h land max_int) mod buckets
+
+let key_of_req = function Get k | Put (k, _) -> Some k | Freeze _ | Install _ -> None
+
+let rec put_sorted k v = function
+  | [] -> [ (k, v) ]
+  | ((k', _) as p) :: tl ->
+      if k' < k then p :: put_sorted k v tl else if k' = k then (k, v) :: tl else (k, v) :: p :: tl
+
+let get_default k vals = match List.assoc_opt k vals with Some v -> v | None -> 0
+
+let rec insert_sorted b = function
+  | [] -> [ b ]
+  | b' :: tl as l -> if b' < b then b' :: insert_sorted b tl else if b' = b then l else b :: l
+
+let seal ~buckets b vals = List.filter (fun (k, _) -> bucket_of_key ~buckets k = b) vals
+
+let show_pairs ps =
+  "[" ^ String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "%d:%d" k v) ps) ^ "]"
+
+let show_req = function
+  | Get k -> Printf.sprintf "get %d" k
+  | Put (k, v) -> Printf.sprintf "put %d:=%d" k v
+  | Freeze b -> Printf.sprintf "freeze b%d" b
+  | Install (b, ps) -> Printf.sprintf "install b%d %s" b (show_pairs ps)
+
+let show_resp = function
+  | Value v -> Printf.sprintf "value %d" v
+  | Ack -> "ack"
+  | Refused -> "refused"
+  | Sealed ps -> "sealed " ^ show_pairs ps
+
+let spec ~buckets =
+  let apply st = function
+    | Get k ->
+        if List.mem (bucket_of_key ~buckets k) st.frozen then (st, Refused)
+        else (st, Value (get_default k st.vals))
+    | Put (k, v) ->
+        if List.mem (bucket_of_key ~buckets k) st.frozen then (st, Refused)
+        else ({ st with vals = put_sorted k v st.vals }, Ack)
+    | Freeze b ->
+        ({ st with frozen = insert_sorted b st.frozen }, Sealed (seal ~buckets b st.vals))
+    | Install (b, pairs) ->
+        let keep = List.filter (fun (k, _) -> bucket_of_key ~buckets k <> b) st.vals in
+        let vals = List.fold_left (fun acc (k, v) -> put_sorted k v acc) keep pairs in
+        ({ vals; frozen = List.filter (fun b' -> b' <> b) st.frozen }, Ack)
+  in
+  Spec.make
+    ~name:(Printf.sprintf "shard-kv/b%d" buckets)
+    ~init:{ vals = []; frozen = [] } ~apply ~show_req ~show_resp ()
+
+let flat_spec =
+  let apply vals = function
+    | Get k -> (vals, Value (get_default k vals))
+    | Put (k, v) -> (put_sorted k v vals, Ack)
+    | Freeze _ | Install _ -> (vals, Refused)
+  in
+  Spec.make ~name:"kv" ~init:[] ~apply ~show_req ~show_resp ()

@@ -1,0 +1,32 @@
+module Make (P : Scs_prims.Prims_intf.S) = struct
+  type route = { owner : int; frozen : bool; epoch : int }
+  type t = { shards : int; buckets : int; entries : route P.reg array }
+
+  let create ~name ~shards ~buckets () =
+    if shards < 1 then invalid_arg "Router.create: shards must be >= 1";
+    if buckets < shards then invalid_arg "Router.create: buckets must be >= shards";
+    let entries =
+      Array.init buckets (fun b ->
+          P.reg
+            ~name:(Printf.sprintf "%s.route[%d]" name b)
+            { owner = b mod shards; frozen = false; epoch = 0 })
+    in
+    { shards; buckets; entries }
+
+  let shards t = t.shards
+  let buckets t = t.buckets
+  let route_bucket t ~bucket = P.read t.entries.(bucket)
+  let route t ~key = route_bucket t ~bucket:(Kv.bucket_of_key ~buckets:t.buckets key)
+
+  let update t ~bucket f =
+    let r = P.read t.entries.(bucket) in
+    let r' = f r in
+    P.write t.entries.(bucket) r';
+    r'
+
+  let freeze t ~bucket = update t ~bucket (fun r -> { r with frozen = true; epoch = r.epoch + 1 })
+
+  let assign t ~bucket ~shard =
+    if shard < 0 || shard >= t.shards then invalid_arg "Router.assign: shard out of range";
+    update t ~bucket (fun r -> { owner = shard; frozen = false; epoch = r.epoch + 1 })
+end

@@ -1,0 +1,44 @@
+(** Keyed routing table: which shard owns which bucket, at which epoch.
+
+    One durable register per bucket holds a {!route} record — owner
+    shard, a frozen flag, and an epoch counter bumped by every change.
+    Reading a route costs one register read; a client caches nothing,
+    so a migration is visible as soon as its table write lands. The
+    epoch lets harnesses and checks {e name} table versions: an
+    operation routed under epoch [e] that commits [Refused] was stale —
+    the bucket froze or moved under it — and must re-read the table and
+    retry. Routing is total: {!route} is defined for every [int] key
+    before, during and after any migration (a frozen bucket still names
+    its owner; clients just wait out the freeze).
+
+    Table writes are the migrator's job; the module assumes a single
+    writer at a time (the {!Migration} state machine), while reads are
+    concurrent and wait-free. Registers are durable ([P.reg]), so the
+    table survives crashes — recovery resumes from whatever prefix of a
+    migration's writes landed. *)
+
+module Make (P : Scs_prims.Prims_intf.S) : sig
+  type route = { owner : int; frozen : bool; epoch : int }
+  type t
+
+  val create : name:string -> shards:int -> buckets:int -> unit -> t
+  (** Bucket [b] starts at [{ owner = b mod shards; frozen = false;
+      epoch = 0 }]. *)
+
+  val shards : t -> int
+  val buckets : t -> int
+
+  val route : t -> key:int -> route
+  (** One register read on [Kv.bucket_of_key]'s bucket. *)
+
+  val route_bucket : t -> bucket:int -> route
+
+  val freeze : t -> bucket:int -> route
+  (** Mark frozen (owner unchanged), bump the epoch; returns the new
+      route. Idempotent on an already-frozen bucket apart from the
+      epoch bump. *)
+
+  val assign : t -> bucket:int -> shard:int -> route
+  (** Set the owner, clear frozen, bump the epoch; returns the new
+      route. *)
+end

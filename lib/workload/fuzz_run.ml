@@ -3,9 +3,9 @@ open Scs_history
 open Scs_composable
 open Scs_sim
 
-type instance = { setup : Sim.t -> unit; check : Sim.t -> unit }
+type instance = Workload_def.instance = { setup : Sim.t -> unit; check : Sim.t -> unit }
 
-type t = {
+type t = Workload_def.t = {
   name : string;
   describe : string;
   default_n : int;
@@ -616,6 +616,7 @@ let all =
     recoverable_bakery_volatile;
     queue;
   ]
+  @ Shard_run.all
 
 let find name = List.find_opt (fun w -> w.name = name) all
 let names () = List.map (fun w -> w.name) all

@@ -15,9 +15,9 @@
 
 open Scs_sim
 
-type instance = { setup : Sim.t -> unit; check : Sim.t -> unit }
+type instance = Workload_def.instance = { setup : Sim.t -> unit; check : Sim.t -> unit }
 
-type t = {
+type t = Workload_def.t = {
   name : string;
   describe : string;
   default_n : int;

@@ -3,12 +3,13 @@ open Scs_sim
 open Scs_composable
 open Scs_obs
 
-type target = A1 | Tas of Tas_run.algo | Cons of Cons_run.algo
+type target = A1 | Tas of Tas_run.algo | Cons of Cons_run.algo | Shard
 
 let target_name = function
   | A1 -> "a1"
   | Tas a -> Tas_run.algo_name a
   | Cons a -> Cons_run.algo_name a
+  | Shard -> "sharded"
 
 let all_targets =
   [
@@ -22,6 +23,7 @@ let all_targets =
     Cons Cons_run.Bakery;
     Cons Cons_run.Cas;
     Cons Cons_run.Chain3;
+    Shard;
   ]
 
 let target_of_string s = List.find_opt (fun t -> target_name t = s) all_targets
@@ -63,6 +65,64 @@ let run_a1 ?(crashes = []) ~backend ~obs ~n ~policy rng =
   let p = if crashes = [] then p else Policy.with_crashes crashes p in
   Sim.run sim p
 
+(* Sharded service: every pid pushes a short keyed script through the
+   2-shard router; each client operation is bracketed under the label of
+   the shard that owns its key at invoke time, so the batch aggregate
+   splits into per-shard step/contention profiles (and their op-count
+   imbalance) for free. *)
+let shard_shards = 2
+let shard_buckets = 4
+
+let install_shard ~backend ~obs ~n sim =
+  let module P = (val Scs_prims.Backend.sim_prims backend sim) in
+  let module S = Scs_shard.Service.Make (P) in
+  let svc =
+    S.create ~name:"svc" ~n ~shards:shard_shards ~buckets:shard_buckets
+      ~capacity:(max 64 (8 * n)) ()
+  in
+  let handles = Array.init n (fun pid -> S.handle svc ~pid) in
+  let rt = S.router svc in
+  let keys = 2 * shard_shards in
+  (* per-pid handles cache local log cursors into the UC histories, so a
+     [Sim.reset] rewind of the shard objects makes them stale: the rearm
+     hook rebuilds them before every pooled run *)
+  let rearm () =
+    for pid = 0 to n - 1 do
+      handles.(pid) <- S.handle svc ~pid
+    done
+  in
+  for pid = 0 to n - 1 do
+    Sim.spawn sim pid (fun () ->
+        List.iter
+          (fun req ->
+            let key = Option.get (Scs_shard.Kv.key_of_req req) in
+            let owner =
+              (S.R.route_bucket rt
+                 ~bucket:(Scs_shard.Kv.bucket_of_key ~buckets:shard_buckets key))
+                .S.R.owner
+            in
+            Obs.op_begin obs ~pid ~obj:owner ~label:(Printf.sprintf "shard%d" owner);
+            (match S.apply handles.(pid) req with
+            | S.Done _ -> Obs.op_end obs ~pid ~aborted:false
+            | S.Gave_up ->
+                Obs.abort obs ~pid;
+                Obs.op_end obs ~pid ~aborted:true)
+            [@warning "-4"])
+          [
+            Scs_shard.Kv.Put (pid mod keys, 100 + pid);
+            Scs_shard.Kv.Get (pid mod keys);
+            Scs_shard.Kv.Put ((pid + 1) mod keys, 200 + pid);
+          ])
+  done;
+  rearm
+
+let run_shard ?(crashes = []) ~backend ~obs ~n ~policy rng =
+  let sim = Sim.create ~obs ~n () in
+  let (_ : unit -> unit) = install_shard ~backend ~obs ~n sim in
+  let p = policy rng in
+  let p = if crashes = [] then p else Policy.with_crashes crashes p in
+  Sim.run sim p
+
 let gen_crashes rng ~n ~crash_prob =
   List.filter_map
     (fun p ->
@@ -100,6 +160,7 @@ let aggregate ~workload ~backend ~n ~runs ~wall (obs : Obs.t) =
 let one_run ?(crashes = []) ~backend ~obs ~target ~n ~policy rng =
   match target with
   | A1 -> run_a1 ~crashes ~backend ~obs ~n ~policy rng
+  | Shard -> run_shard ~crashes ~backend ~obs ~n ~policy rng
   | Tas algo ->
       let seed = Rng.int rng 0x3FFFFFFF in
       ignore
@@ -192,6 +253,9 @@ let install ~backend ~obs ~target ~n sim =
         for i = 0 to n - 1 do
           rngs.(i) <- Rng.split rng
         done
+  | Shard ->
+      let rearm = install_shard ~backend ~obs ~n sim in
+      fun _ -> rearm ()
   | Cons algo ->
       let inst : int Scs_consensus.Consensus_intf.t =
         Cons_run.make_instance ~algo ~n (module P)
@@ -226,6 +290,9 @@ let run_domain ~backend ~target ~n ~policy ~crash_prob ~obs ~prng ~runs =
     let pol_rng =
       match target with
       | A1 -> rng
+      | Shard ->
+          rearm rng;
+          rng
       | Tas _ | Cons _ ->
           let seed = Rng.int rng 0x3FFFFFFF in
           let rng2 = Rng.create seed in

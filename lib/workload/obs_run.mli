@@ -16,6 +16,10 @@ type target =
   | A1  (** bare A1: one [apply] per process (Theorem 3's O(1) object) *)
   | Tas of Tas_run.algo
   | Cons of Cons_run.algo
+  | Shard
+      (** the 2-shard keyed service ({!Scs_shard}): each client op is
+          bracketed under the owning shard's label ([shard0]/[shard1]),
+          so the aggregate's [ops] split into per-shard profiles *)
 
 val target_name : target -> string
 val target_of_string : string -> target option

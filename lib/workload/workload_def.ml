@@ -1,0 +1,17 @@
+(** The workload record shared by the fuzzing registries.
+
+    {!Fuzz_run} re-exports these types with manifest equations (so
+    [Fuzz_run.t] remains the public name) and aggregates every
+    workload list into its registry; defining the record here lets
+    satellite modules ({!Shard_run}) build workloads without a
+    dependency cycle through the registry itself. *)
+
+type instance = { setup : Scs_sim.Sim.t -> unit; check : Scs_sim.Sim.t -> unit }
+
+type t = {
+  name : string;
+  describe : string;
+  default_n : int;
+  expect_failures : bool;
+  instantiate : ?backend:Scs_prims.Backend.t -> n:int -> unit -> instance;
+}

@@ -20,6 +20,7 @@ let () =
       ("prims-parity", Test_prims.tests);
       ("hist", Test_hist.tests);
       ("load", Test_load.tests);
+      ("shard", Test_shard.tests);
       ("policy", Test_policy.tests);
       ("properties", Test_props.tests);
       ("fuzz", Test_fuzz.tests);

@@ -1,6 +1,6 @@
 (* The native load harness: workload mixes, the backend-agnostic driver
    checked under the simulator, and a short real-domain engine smoke for
-   each of the three acceptance families. *)
+   each acceptance family. *)
 
 module Load = Scs_load.Load
 module Mix = Scs_load.Mix
@@ -51,14 +51,14 @@ let test_workload_names_roundtrip () =
       | Some w' when w' = w -> ()
       | _ -> Alcotest.failf "name round-trip failed for %s" (Load.workload_name w))
     Load.all_workloads;
-  (* the three acceptance families partition into known workloads *)
+  (* the acceptance families partition into known workloads *)
   let fam = List.concat_map snd Load.workload_families in
   List.iter
     (fun w ->
       if not (List.mem w Load.all_workloads) then
         Alcotest.failf "family workload %s not in all_workloads" (Load.workload_name w))
     fam;
-  Alcotest.(check int) "three families" 3 (List.length Load.workload_families)
+  Alcotest.(check int) "four families" 4 (List.length Load.workload_families)
 
 let test_flag_encoding () =
   Alcotest.(check int) "win" 1 Load.f_win;
@@ -107,7 +107,32 @@ let test_engine_smoke_tas () = check_result (Load.run (smoke_cfg Load.Speculativ
 let test_engine_smoke_uc () =
   check_result
     (Load.run { (smoke_cfg Load.Uc_register) with Load.duration_s = 0.4 })
-let test_engine_smoke_chain () = check_result (Load.run (smoke_cfg Load.Chain))
+(* the chain closed loop also recycles its consensus arena; on a
+   contended 1-core host an 80ms window can elapse inside one recycle,
+   so it gets the same longer window as the uc cell *)
+let test_engine_smoke_chain () =
+  check_result (Load.run { (smoke_cfg Load.Chain) with Load.duration_s = 0.4 })
+
+(* sharded family: 2 shards with a live migration every 40 updates of
+   domain 0; per-shard op counters must account for every batched op *)
+let test_engine_smoke_sharded () =
+  let r =
+    Load.run
+      {
+        (smoke_cfg Load.Sharded_uc) with
+        Load.duration_s = 0.4;
+        shards = 2;
+        buckets = 8;
+        migrate_every = 40;
+      }
+  in
+  check_result r;
+  let extra k = match List.assoc_opt k r.Load.r_extra with Some v -> v | None -> -1 in
+  if extra "batched_ops" < 0 then Alcotest.fail "batched_ops counter missing";
+  let shard_total = extra "shard0_ops" + extra "shard1_ops" in
+  if shard_total < 0 then Alcotest.fail "per-shard counters missing";
+  Alcotest.(check int) "per-shard counters account for the batched ops" (extra "batched_ops")
+    shard_total
 
 let test_to_record () =
   let r = Load.run (smoke_cfg Load.Hardware) in
@@ -145,5 +170,7 @@ let tests =
     Alcotest.test_case "engine smoke: uc family (2 domains)" `Quick test_engine_smoke_uc;
     Alcotest.test_case "engine smoke: chain family (2 domains)" `Quick
       test_engine_smoke_chain;
+    Alcotest.test_case "engine smoke: sharded family (2 domains, 2 shards, migrating)"
+      `Quick test_engine_smoke_sharded;
     Alcotest.test_case "native trajectory record round-trip" `Quick test_to_record;
   ]
